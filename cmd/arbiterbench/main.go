@@ -1,0 +1,100 @@
+// Command arbiterbench regenerates the quantitative results of §3.4 of
+// Lynch & Tuttle 1987: the light-load (Theorem 50) and heavy-load
+// (Theorem 52) response-time bounds of Schönhage's arbiter, the
+// combined-message ablation, and the comparison against the [LF81]
+// round-robin and tournament arbiters.
+//
+// Usage:
+//
+//	arbiterbench [-b bound] [-seed n] [-max n] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("arbiterbench: ")
+	var (
+		b     = flag.Float64("b", 1, "per-step time bound b")
+		seed  = flag.Int64("seed", 1, "scheduler tie-break seed")
+		maxN  = flag.Int("max", 64, "largest user count in sweeps")
+		quick = flag.Bool("quick", false, "small sweep for smoke testing")
+	)
+	flag.Parse()
+
+	sizes := sweep(*maxN)
+	if *quick {
+		sizes = sweep(8)
+	}
+
+	rows, err := bench.Theorem50(sizes, *b, graph.BinaryTree, *seed)
+	if err != nil {
+		log.Fatalf("theorem 50 (binary): %v", err)
+	}
+	bench.PrintRows(os.Stdout, "Theorem 50 — light load, binary trees (bound 2bd)", rows)
+
+	lineSizes := sizes
+	rows, err = bench.Theorem50(lineSizes, *b, func(n int) (*graph.Tree, error) {
+		return graph.Line(n)
+	}, *seed)
+	if err != nil {
+		log.Fatalf("theorem 50 (line): %v", err)
+	}
+	bench.PrintRows(os.Stdout, "Theorem 50 — light load, line graphs (bound 2bd)", rows)
+
+	rows, err = bench.Theorem52(sizes, *b, false, *seed)
+	if err != nil {
+		log.Fatalf("theorem 52: %v", err)
+	}
+	bench.PrintRows(os.Stdout, "Theorem 52 — heavy load, binary trees (bound 3be−b)", rows)
+
+	rows, err = bench.Theorem52(sizes, *b, true, *seed)
+	if err != nil {
+		log.Fatalf("combined messages: %v", err)
+	}
+	bench.PrintRows(os.Stdout, "§3.4 remark — combined grant+request (bound 2be)", rows)
+
+	cmp, err := bench.Comparison(sizes, *b, *seed)
+	if err != nil {
+		log.Fatalf("comparison: %v", err)
+	}
+	bench.PrintComparison(os.Stdout, cmp)
+
+	distSizes := sizes
+	if len(distSizes) > 4 {
+		distSizes = distSizes[:4] // the A3 state space is the costly one
+	}
+	dvg, err := bench.DistVsGraph(distSizes, *b, *seed)
+	if err != nil {
+		log.Fatalf("dist vs graph: %v", err)
+	}
+	title := "Cross-level check — heavy-load max response at A2 (over G) vs A3 (bound 3b·e(𝒢)−b)"
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("-", len(title)))
+	fmt.Printf("%4s %6s %6s %10s %10s %10s %s\n", "n", "e(G)", "e(𝒢)", "A2 max", "A3 max", "bound", "ok")
+	for _, r := range dvg {
+		fmt.Printf("%4d %6d %6d %10.1f %10.1f %10.1f %t\n",
+			r.N, r.EG, r.EAug, r.A2Max, r.A3Max, r.BoundAug, r.Within)
+	}
+	fmt.Println()
+
+	fmt.Println("done")
+}
+
+// sweep yields powers of two from 2 up to max.
+func sweep(maxN int) []int {
+	var out []int
+	for n := 2; n <= maxN; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+// Command ioasim simulates the systems built in this repository: the
+// figure examples of Chapter 2, Schönhage's arbiter at each of its
+// three levels of abstraction (closed with user automata), and the
+// token-ring arbiter.
+//
+// Usage:
+//
+//	ioasim -system fig21|fig22|fig23c|arbiter1|arbiter2|arbiter3|ring|mutex
+//	       [-steps n] [-policy rr|random] [-seed n] [-users n]
+//	       [-trace] [-json] [-dot]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/arbiter/dist"
+	"repro/internal/arbiter/graphlevel"
+	"repro/internal/arbiter/spec"
+	"repro/internal/arbiter/users"
+	"repro/internal/explore"
+	"repro/internal/figures"
+	"repro/internal/graph"
+	"repro/internal/ioa"
+	"repro/internal/mutex"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ioasim: ")
+	var (
+		system  = flag.String("system", "arbiter3", "system to simulate")
+		steps   = flag.Int("steps", 100, "maximum steps")
+		policy  = flag.String("policy", "rr", "scheduling policy: rr or random")
+		seed    = flag.Int64("seed", 1, "seed for the random policy")
+		nUsers  = flag.Int("users", 3, "number of users (arbiter systems)")
+		trace   = flag.Bool("trace", false, "print the full step trace")
+		jsonOut = flag.Bool("json", false, "emit the trace as JSON events on stdout")
+		dotOut  = flag.Bool("dot", false, "emit the reachable state graph in Graphviz DOT format and exit")
+	)
+	flag.Parse()
+
+	auto, err := buildSystem(*system, *nUsers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dotOut {
+		if err := explore.WriteDOT(os.Stdout, auto, 4096); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	var p sim.Policy
+	switch *policy {
+	case "rr":
+		p = &sim.RoundRobin{}
+	case "random":
+		p = sim.NewRandom(*seed)
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+	x, err := sim.Run(auto, p, *steps, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, x); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	report(auto, x, *trace)
+}
+
+// event is one step of a trace in the JSON export format.
+type event struct {
+	Step   int    `json:"step"`
+	Action string `json:"action"`
+	State  string `json:"state"`
+}
+
+// writeJSON emits the execution as a JSON array of events, preceded by
+// the initial state, for consumption by external tooling.
+func writeJSON(w io.Writer, x *ioa.Execution) error {
+	events := make([]event, 0, x.Len()+1)
+	events = append(events, event{Step: 0, Action: "", State: x.States[0].Key()})
+	for i, act := range x.Acts {
+		events = append(events, event{Step: i + 1, Action: string(act), State: x.States[i+1].Key()})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(events)
+}
+
+func buildSystem(name string, nUsers int) (ioa.Automaton, error) {
+	switch name {
+	case "fig21":
+		return figures.Fig21(), nil
+	case "fig22":
+		return figures.Fig22(), nil
+	case "fig23c":
+		return figures.Fig23C(), nil
+	case "arbiter1":
+		names := spec.DefaultUsers(nUsers)
+		a1 := spec.New(names)
+		comps := append([]ioa.Automaton{a1}, users.Automata(users.HeavyLoad(names))...)
+		return ioa.Compose("arbiter1", comps...)
+	case "ring":
+		names := spec.DefaultUsers(nUsers)
+		sys, err := ring.New(names)
+		if err != nil {
+			return nil, err
+		}
+		comps := append([]ioa.Automaton{sys.Arbiter}, users.Automata(users.HeavyLoad(names))...)
+		return ioa.Compose("ring-closed", comps...)
+	case "mutex":
+		sys, err := mutex.New()
+		if err != nil {
+			return nil, err
+		}
+		var comps []ioa.Automaton
+		comps = append(comps, sys.Mutex)
+		for i := 0; i < 2; i++ {
+			i := i
+			d := ioa.NewDef("User" + string(rune('0'+i)))
+			d.Start(ioa.KeyState("rem"))
+			d.Output(mutex.Try(i), "u"+string(rune('0'+i)),
+				func(s ioa.State) bool { return s.Key() == "rem" },
+				func(ioa.State) ioa.State { return ioa.KeyState("trying") })
+			d.Input(mutex.Crit(i), func(s ioa.State) ioa.State { return ioa.KeyState("crit") })
+			d.Output(mutex.Exit(i), "u"+string(rune('0'+i)),
+				func(s ioa.State) bool { return s.Key() == "crit" },
+				func(ioa.State) ioa.State { return ioa.KeyState("exited") })
+			d.Input(mutex.Rem(i), func(s ioa.State) ioa.State { return ioa.KeyState("rem") })
+			comps = append(comps, d.MustBuild())
+		}
+		return ioa.Compose("mutex-closed", comps...)
+	case "arbiter2", "arbiter3":
+		tr, err := graph.BinaryTree(nUsers)
+		if err != nil {
+			return nil, err
+		}
+		names := treeUserNames(tr)
+		var arb ioa.Automaton
+		if name == "arbiter2" {
+			holder := tr.NodesOf(graph.Arbiter)[0]
+			a2, err := graphlevel.New(tr, tr.Neighbors(holder)[0], holder)
+			if err != nil {
+				return nil, err
+			}
+			arb, err = ioa.Rename(a2, graphlevel.F1(tr))
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			sys, err := dist.New(tr, tr.NodesOf(graph.Arbiter)[0])
+			if err != nil {
+				return nil, err
+			}
+			aug, err := graph.Augment(tr)
+			if err != nil {
+				return nil, err
+			}
+			f2, err := sys.F2(aug)
+			if err != nil {
+				return nil, err
+			}
+			a3r, err := ioa.Rename(sys.A3, f2)
+			if err != nil {
+				return nil, err
+			}
+			arb, err = ioa.Rename(a3r, graphlevel.F1(aug))
+			if err != nil {
+				return nil, err
+			}
+		}
+		comps := append([]ioa.Automaton{arb}, users.Automata(users.HeavyLoad(names))...)
+		return ioa.Compose(name, comps...)
+	default:
+		return nil, fmt.Errorf("unknown system %q (try fig21, fig22, fig23c, arbiter1, arbiter2, arbiter3, ring, mutex)", name)
+	}
+}
+
+func treeUserNames(tr *graph.Tree) []string {
+	ids := tr.NodesOf(graph.User)
+	out := make([]string, len(ids))
+	for i, u := range ids {
+		out[i] = tr.Node(u).Name
+	}
+	return out
+}
+
+func report(auto ioa.Automaton, x *ioa.Execution, trace bool) {
+	fmt.Printf("system %s: ran %d steps\n", auto.Name(), x.Len())
+	if trace {
+		for i, act := range x.Acts {
+			fmt.Printf("%4d  %s\n", i+1, act)
+		}
+	}
+	if err := ioa.CheckFairWindow(x, 4*len(auto.Parts())); err != nil {
+		fmt.Printf("fairness: %v\n", err)
+	} else {
+		fmt.Println("fairness: every class served within the window")
+	}
+	counts := make(map[string]int)
+	for _, act := range x.Acts {
+		counts[act.Base()]++
+	}
+	fmt.Println("action counts:")
+	for _, base := range []string{"request", "grant", "return"} {
+		if counts[base] > 0 {
+			fmt.Printf("  %-8s %d\n", base, counts[base])
+		}
+	}
+	perUser := make(map[string]int)
+	for _, act := range x.Acts {
+		if act.Base() == "grant" && len(act.Params()) == 1 {
+			perUser[act.Params()[0]]++
+		}
+	}
+	if len(perUser) > 0 {
+		fmt.Println("grants per user:")
+		for _, u := range sortedKeys(perUser) {
+			fmt.Printf("  %-6s %d\n", u, perUser[u])
+		}
+	}
+	if x.Len() > 0 && len(perUser) == 0 && !trace {
+		fmt.Printf("last actions: %s\n", ioa.TraceString(x.Acts[max(0, len(x.Acts)-10):]))
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := range keys {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	return keys
+}

@@ -1,0 +1,14 @@
+// Package repro is a Go reproduction of Lynch & Tuttle,
+// "Hierarchical Correctness Proofs for Distributed Algorithms"
+// (PODC 1987 / MIT-LCS-TR-387): an executable input-output automaton
+// library (internal/ioa), analysis and proof tooling (internal/explore,
+// internal/proof), a simulation runtime with b-bounded timed executions
+// (internal/sim), and the paper's worked example — Schönhage's
+// distributed resource arbiter at three levels of abstraction
+// (internal/arbiter/...) — together with the [LF81] baselines and the
+// §3.4 experiment harness (internal/baseline, internal/bench).
+//
+// The root-level benchmarks (bench_test.go) regenerate every
+// quantitative claim and figure of the paper; see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded results.
+package repro

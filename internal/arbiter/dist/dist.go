@@ -1,0 +1,674 @@
+// Package dist implements the distributed arbiter of §3.3: one
+// automaton A_a per arbiter process (Figure 3.5), the asynchronous
+// message-system automaton M (Figure 3.6), their composition A₃ with
+// internal communication hidden, the execution modules E_a, E_M, E₃,
+// and the renaming f₂ onto the action names of A₂ over the
+// buffer-augmented graph 𝒢.
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/ioa"
+	"repro/internal/proof"
+)
+
+// Message kinds carried by M.
+const (
+	KindRequest = "request"
+	KindGrant   = "grant"
+)
+
+// ProcState is the state of one arbiter process automaton A_a
+// (§3.3.1): the set of neighbors it has received requests from, the
+// neighbor it last forwarded the resource to, and the holding /
+// requested flags.
+type ProcState struct {
+	// requesting[i] reports whether neighbor i (in the process's fixed
+	// neighbor order) has an unserved request.
+	requesting []bool
+	// lastForward is the index of the neighbor the resource was last
+	// forwarded to (or arrived from).
+	lastForward int
+	holding     bool
+	requested   bool
+	key         string
+}
+
+var _ ioa.State = (*ProcState)(nil)
+
+// NewProcState builds a process state.
+func NewProcState(requesting []bool, lastForward int, holding, requested bool) *ProcState {
+	s := &ProcState{
+		requesting:  append([]bool(nil), requesting...),
+		lastForward: lastForward,
+		holding:     holding,
+		requested:   requested,
+	}
+	var b strings.Builder
+	b.WriteString("rq=")
+	for _, r := range s.requesting {
+		if r {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	fmt.Fprintf(&b, " lf=%d h=%t r=%t", lastForward, holding, requested)
+	s.key = b.String()
+	return s
+}
+
+// Key implements ioa.State.
+func (s *ProcState) Key() string { return s.key }
+
+// Requesting reports whether neighbor index i has a pending request.
+func (s *ProcState) Requesting(i int) bool { return s.requesting[i] }
+
+// LastForward returns the last-forward neighbor index.
+func (s *ProcState) LastForward() int { return s.lastForward }
+
+// Holding reports whether the process holds the resource.
+func (s *ProcState) Holding() bool { return s.holding }
+
+// Requested reports whether the process has forwarded a request since
+// last holding the resource.
+func (s *ProcState) Requested() bool { return s.requested }
+
+func (s *ProcState) withRequesting(i int, v bool) *ProcState {
+	rq := append([]bool(nil), s.requesting...)
+	rq[i] = v
+	return NewProcState(rq, s.lastForward, s.holding, s.requested)
+}
+
+// Action constructors (names carry sender and receiver node names).
+
+// ReceiveRequest names receiverequest(v,a): a request from v arrives
+// at a.
+func ReceiveRequest(v, a string) ioa.Action { return ioa.Act("receiverequest", v, a) }
+
+// ReceiveGrant names receivegrant(v,a): the resource from v arrives at a.
+func ReceiveGrant(v, a string) ioa.Action { return ioa.Act("receivegrant", v, a) }
+
+// SendRequest names sendrequest(a,v): a forwards a request to v.
+func SendRequest(a, v string) ioa.Action { return ioa.Act("sendrequest", a, v) }
+
+// SendGrant names sendgrant(a,v): a forwards the resource to v.
+func SendGrant(a, v string) ioa.Action { return ioa.Act("sendgrant", a, v) }
+
+// NewProcess builds the automaton A_a for arbiter process a of tree t
+// (Figure 3.5). initialHolder designates the process initially holding
+// the resource; every other process's lastForward points toward it.
+// A_a is primitive: all its locally-controlled actions form one class
+// named after the process.
+func NewProcess(t *graph.Tree, a, initialHolder int) (*ioa.Prog, error) {
+	if t.Node(a).Kind != graph.Arbiter {
+		return nil, fmt.Errorf("dist: process %s is not an arbiter node", t.Node(a).Name)
+	}
+	if t.Node(initialHolder).Kind != graph.Arbiter {
+		return nil, fmt.Errorf("dist: initial holder %s is not an arbiter node", t.Node(initialHolder).Name)
+	}
+	nb := t.Neighbors(a)
+	aName := t.Node(a).Name
+	class := aName
+
+	holding := a == initialHolder
+	lastForward := 0 // for the initial holder: an arbitrary neighbor
+	if !holding {
+		// The neighbor on the path toward the holder.
+		for i, v := range nb {
+			if t.PointsToward(a, v, initialHolder) {
+				lastForward = i
+				break
+			}
+		}
+	}
+	d := ioa.NewDef("A_" + aName)
+	d.Start(NewProcState(make([]bool, len(nb)), lastForward, holding, false))
+
+	for i, v := range nb {
+		i, v := i, v
+		vName := t.Node(v).Name
+
+		d.Input(ReceiveRequest(vName, aName), func(st ioa.State) ioa.State {
+			return st.(*ProcState).withRequesting(i, true)
+		})
+		d.Input(ReceiveGrant(vName, aName), func(st ioa.State) ioa.State {
+			s := st.(*ProcState)
+			if !s.holding && s.lastForward == i {
+				return NewProcState(s.requesting, s.lastForward, true, false)
+			}
+			return s
+		})
+		d.Output(SendRequest(aName, vName), class,
+			func(st ioa.State) bool {
+				s := st.(*ProcState)
+				return anyRequesting(s) && !s.requested && !s.holding && s.lastForward == i
+			},
+			func(st ioa.State) ioa.State {
+				s := st.(*ProcState)
+				return NewProcState(s.requesting, s.lastForward, s.holding, true)
+			})
+		d.Output(SendGrant(aName, vName), class,
+			func(st ioa.State) bool {
+				s := st.(*ProcState)
+				if !s.requesting[i] || !s.holding {
+					return false
+				}
+				// No requester properly between lastForward and v in
+				// the cyclic neighbor order.
+				for k := 1; k < len(nb); k++ {
+					y := (s.lastForward + k) % len(nb)
+					if y == i {
+						break
+					}
+					if s.requesting[y] {
+						return false
+					}
+				}
+				return true
+			},
+			func(st ioa.State) ioa.State {
+				s := st.(*ProcState).withRequesting(i, false)
+				return NewProcState(s.requesting, i, false, s.requested)
+			})
+	}
+	return d.Build()
+}
+
+func anyRequesting(s *ProcState) bool {
+	for _, r := range s.requesting {
+		if r {
+			return true
+		}
+	}
+	return false
+}
+
+// MsgState is the state of the message system M (§3.3.1): the
+// undelivered messages, organized as one queue per directed channel
+// (a,a'), each entry a message kind.
+//
+// The paper's Figure 3.6 presents messages as an unordered set, but
+// the possibilities mapping h₂ of §3.3.6 is sound only if a channel
+// never delivers a request ahead of an earlier grant on the same
+// channel: a process that has just granted the resource toward a′ may
+// immediately forward a fresh request after it, and delivering that
+// request first yields a state whose h₂-image requires an A₂ step
+// request(b,a′) that is disabled (the buffer is the root, so the edge
+// does not point toward the root — the case Lemma 46's proof silently
+// excludes). The paper's own implementability argument for E_M
+// (Lemma 44) constructs M from FIFO buffers, so we adopt per-channel
+// FIFO order here; NewUnorderedMessageSystem preserves the literal
+// Figure 3.6 semantics and is used in tests to exhibit the
+// counterexample.
+type MsgState struct {
+	queues map[string][]string // channel "from>to" -> kinds in order
+	key    string
+}
+
+var _ ioa.State = (*MsgState)(nil)
+
+func chanKey(from, to string) string { return from + ">" + to }
+
+// NewMsgState builds a message-system state from per-channel queues.
+func NewMsgState(queues map[string][]string) *MsgState {
+	s := &MsgState{queues: make(map[string][]string, len(queues))}
+	keys := make([]string, 0, len(queues))
+	for ch, q := range queues {
+		if len(q) == 0 {
+			continue
+		}
+		s.queues[ch] = append([]string(nil), q...)
+		keys = append(keys, ch)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("{")
+	for _, ch := range keys {
+		b.WriteString(ch)
+		b.WriteString(":[")
+		b.WriteString(strings.Join(s.queues[ch], ","))
+		b.WriteString("] ")
+	}
+	b.WriteString("}")
+	s.key = b.String()
+	return s
+}
+
+// Key implements ioa.State.
+func (s *MsgState) Key() string { return s.key }
+
+// Has reports whether a message (from,to,kind) is undelivered
+// (anywhere in the channel's queue).
+func (s *MsgState) Has(from, to, kind string) bool {
+	for _, k := range s.queues[chanKey(from, to)] {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// HeadIs reports whether the channel's next deliverable message has
+// the given kind.
+func (s *MsgState) HeadIs(from, to, kind string) bool {
+	q := s.queues[chanKey(from, to)]
+	return len(q) > 0 && q[0] == kind
+}
+
+// Len returns the total number of undelivered messages.
+func (s *MsgState) Len() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}
+
+func (s *MsgState) push(from, to, kind string) *MsgState {
+	next := make(map[string][]string, len(s.queues)+1)
+	for ch, q := range s.queues {
+		next[ch] = q
+	}
+	ch := chanKey(from, to)
+	next[ch] = append(append([]string(nil), s.queues[ch]...), kind)
+	return NewMsgState(next)
+}
+
+// pop removes the head of the channel (which must have the given kind).
+func (s *MsgState) pop(from, to string) *MsgState {
+	next := make(map[string][]string, len(s.queues))
+	for ch, q := range s.queues {
+		next[ch] = q
+	}
+	ch := chanKey(from, to)
+	next[ch] = s.queues[ch][1:]
+	return NewMsgState(next)
+}
+
+// remove deletes the first occurrence of kind from the channel,
+// regardless of position (unordered delivery).
+func (s *MsgState) remove(from, to, kind string) *MsgState {
+	next := make(map[string][]string, len(s.queues))
+	for ch, q := range s.queues {
+		next[ch] = q
+	}
+	ch := chanKey(from, to)
+	q := append([]string(nil), s.queues[ch]...)
+	for i, k := range q {
+		if k == kind {
+			q = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	next[ch] = q
+	return NewMsgState(next)
+}
+
+// NewMessageSystem builds the automaton M for tree t (Figure 3.6 with
+// per-channel FIFO delivery; see MsgState): it accepts
+// sendrequest/sendgrant between adjacent arbiter processes and
+// delivers each channel's messages in order. Its partition has one
+// class per directed channel (a,a'), matching the per-direction buffer
+// classes of A₂ over 𝒢.
+func NewMessageSystem(t *graph.Tree) (*ioa.Prog, error) {
+	return newMessageSystem(t, true)
+}
+
+// NewUnorderedMessageSystem builds M with the literal Figure 3.6
+// semantics: messages on a channel may be delivered in any order. Used
+// to demonstrate why h₂ requires FIFO channels.
+func NewUnorderedMessageSystem(t *graph.Tree) (*ioa.Prog, error) {
+	return newMessageSystem(t, false)
+}
+
+// NewLossyMessageSystem builds a faulty message system that may also
+// silently DROP the head of any channel (an internal action per
+// channel). It violates the delivery conditions DelReq/DelGr of E_M —
+// used in failure-injection tests to show that C_M is load-bearing for
+// no-lockout: with a lossy channel the resource or a request can
+// vanish and users starve even under fair scheduling.
+func NewLossyMessageSystem(t *graph.Tree) (*ioa.Prog, error) {
+	d := ioa.NewDef("M-lossy")
+	d.Start(NewMsgState(nil))
+	for _, a := range t.NodesOf(graph.Arbiter) {
+		for _, v := range t.Neighbors(a) {
+			if t.Node(v).Kind != graph.Arbiter {
+				continue
+			}
+			from, to := t.Node(a).Name, t.Node(v).Name
+			class := "ch(" + from + "," + to + ")"
+			for _, kind := range []string{KindRequest, KindGrant} {
+				kind := kind
+				var send, recv ioa.Action
+				if kind == KindRequest {
+					send, recv = SendRequest(from, to), ReceiveRequest(from, to)
+				} else {
+					send, recv = SendGrant(from, to), ReceiveGrant(from, to)
+				}
+				d.Input(send, func(st ioa.State) ioa.State {
+					return st.(*MsgState).push(from, to, kind)
+				})
+				d.Output(recv, class,
+					func(st ioa.State) bool { return st.(*MsgState).HeadIs(from, to, kind) },
+					func(st ioa.State) ioa.State { return st.(*MsgState).pop(from, to) })
+			}
+			d.Internal(ioa.Act("drop", from, to), class,
+				func(st ioa.State) bool {
+					ms := st.(*MsgState)
+					return ms.HeadIs(from, to, KindRequest) || ms.HeadIs(from, to, KindGrant)
+				},
+				func(st ioa.State) ioa.State { return st.(*MsgState).pop(from, to) })
+		}
+	}
+	return d.Build()
+}
+
+func newMessageSystem(t *graph.Tree, fifo bool) (*ioa.Prog, error) {
+	name := "M"
+	if !fifo {
+		name = "M-unordered"
+	}
+	d := ioa.NewDef(name)
+	d.Start(NewMsgState(nil))
+	for _, a := range t.NodesOf(graph.Arbiter) {
+		for _, v := range t.Neighbors(a) {
+			if t.Node(v).Kind != graph.Arbiter {
+				continue
+			}
+			from, to := t.Node(a).Name, t.Node(v).Name
+			class := "ch(" + from + "," + to + ")"
+			for _, kind := range []string{KindRequest, KindGrant} {
+				kind := kind
+				var send, recv ioa.Action
+				if kind == KindRequest {
+					send, recv = SendRequest(from, to), ReceiveRequest(from, to)
+				} else {
+					send, recv = SendGrant(from, to), ReceiveGrant(from, to)
+				}
+				d.Input(send, func(st ioa.State) ioa.State {
+					return st.(*MsgState).push(from, to, kind)
+				})
+				if fifo {
+					d.Output(recv, class,
+						func(st ioa.State) bool { return st.(*MsgState).HeadIs(from, to, kind) },
+						func(st ioa.State) ioa.State { return st.(*MsgState).pop(from, to) })
+				} else {
+					d.Output(recv, class,
+						func(st ioa.State) bool { return st.(*MsgState).Has(from, to, kind) },
+						func(st ioa.State) ioa.State { return st.(*MsgState).remove(from, to, kind) })
+				}
+			}
+		}
+	}
+	return d.Build()
+}
+
+// System bundles the distributed arbiter: the per-process automata,
+// the message system, and their composition A₃ (§3.3.3) with all
+// outputs except sendgrant(a,u) hidden.
+type System struct {
+	// Tree is the process graph G.
+	Tree *graph.Tree
+	// Procs maps arbiter node ID to its automaton.
+	Procs map[int]*ioa.Prog
+	// Msg is the message-system automaton.
+	Msg *ioa.Prog
+	// A3 is the hidden composition.
+	A3 ioa.Automaton
+	// Composite is the raw composition (before hiding); its component
+	// order is arbiter nodes ascending, then M.
+	Composite *ioa.Composite
+	// Order lists the arbiter node IDs in component order.
+	Order []int
+}
+
+// New assembles the distributed arbiter over tree t with the given
+// initial holder process (FIFO channels; see MsgState).
+func New(t *graph.Tree, initialHolder int) (*System, error) {
+	return newSystem(t, initialHolder, true)
+}
+
+// NewUnordered assembles the arbiter with the literal Figure 3.6
+// unordered message system; used in tests demonstrating the
+// same-channel delivery race.
+func NewUnordered(t *graph.Tree, initialHolder int) (*System, error) {
+	return newSystem(t, initialHolder, false)
+}
+
+func newSystem(t *graph.Tree, initialHolder int, fifo bool) (*System, error) {
+	sys := &System{Tree: t, Procs: make(map[int]*ioa.Prog)}
+	var comps []ioa.Automaton
+	for _, a := range t.NodesOf(graph.Arbiter) {
+		p, err := NewProcess(t, a, initialHolder)
+		if err != nil {
+			return nil, err
+		}
+		sys.Procs[a] = p
+		sys.Order = append(sys.Order, a)
+		comps = append(comps, p)
+	}
+	m, err := newMessageSystem(t, fifo)
+	if err != nil {
+		return nil, err
+	}
+	sys.Msg = m
+	comps = append(comps, m)
+	composite, err := ioa.Compose("A3", comps...)
+	if err != nil {
+		return nil, err
+	}
+	sys.Composite = composite
+	keep := make(ioa.Set)
+	for _, u := range t.NodesOf(graph.User) {
+		a := t.UserAttachment(u)
+		keep.Add(SendGrant(t.Node(a).Name, t.Node(u).Name))
+	}
+	sys.A3 = ioa.HideOutputsExcept(composite, keep)
+	return sys, nil
+}
+
+// ProcStateOf extracts process a's state from a composite state of A₃.
+func (s *System) ProcStateOf(st ioa.State, a int) (*ProcState, error) {
+	ts, ok := st.(*ioa.TupleState)
+	if !ok {
+		return nil, fmt.Errorf("dist: not a composite state")
+	}
+	for i, id := range s.Order {
+		if id == a {
+			ps, ok := ts.At(i).(*ProcState)
+			if !ok {
+				return nil, fmt.Errorf("dist: component %d is not a process state", i)
+			}
+			return ps, nil
+		}
+	}
+	return nil, fmt.Errorf("dist: node %d is not a process", a)
+}
+
+// MsgStateOf extracts the message-system state from a composite state.
+func (s *System) MsgStateOf(st ioa.State) (*MsgState, error) {
+	ts, ok := st.(*ioa.TupleState)
+	if !ok {
+		return nil, fmt.Errorf("dist: not a composite state")
+	}
+	ms, ok := ts.At(ts.Len() - 1).(*MsgState)
+	if !ok {
+		return nil, fmt.Errorf("dist: last component is not the message state")
+	}
+	return ms, nil
+}
+
+// FwdReq3 is the condition FwdReq_a(v) of §3.3.4 for process a: having
+// received a request while not holding the resource and not having
+// forwarded one, it either forwards a request toward the resource or
+// receives the resource.
+func (s *System) FwdReq3(a, v int) *proof.LeadsTo {
+	nb := s.Tree.Neighbors(a)
+	vi := indexOf(nb, v)
+	aName, vName := s.Tree.Node(a).Name, s.Tree.Node(v).Name
+	return &proof.LeadsTo{
+		Name: fmt.Sprintf("FwdReq3(%s,%s)", aName, vName),
+		S: func(st ioa.State) bool {
+			ps, err := s.ProcStateOf(st, a)
+			if err != nil {
+				return false
+			}
+			return anyRequesting(ps) && !ps.requested && !ps.holding && ps.lastForward == vi
+		},
+		T: func(act ioa.Action) bool {
+			return act == ReceiveGrant(vName, aName) || act == SendRequest(aName, vName)
+		},
+	}
+}
+
+// FwdGr3 is the condition FwdGr_a(v,w) of §3.3.4: process a holding
+// the resource with v requesting (and the resource last forwarded to
+// w) eventually grants into the (w,v] window.
+func (s *System) FwdGr3(a, v, w int) *proof.LeadsTo {
+	nb := s.Tree.Neighbors(a)
+	vi, wi := indexOf(nb, v), indexOf(nb, w)
+	aName := s.Tree.Node(a).Name
+	window := make(map[ioa.Action]bool)
+	for k := 1; k <= len(nb); k++ {
+		y := (wi + k) % len(nb)
+		window[SendGrant(aName, s.Tree.Node(nb[y]).Name)] = true
+		if y == vi {
+			break
+		}
+	}
+	return &proof.LeadsTo{
+		Name: fmt.Sprintf("FwdGr3(%s,%s,%s)", aName, s.Tree.Node(v).Name, s.Tree.Node(w).Name),
+		S: func(st ioa.State) bool {
+			ps, err := s.ProcStateOf(st, a)
+			if err != nil {
+				return false
+			}
+			return ps.requesting[vi] && ps.holding && ps.lastForward == wi
+		},
+		T: func(act ioa.Action) bool { return window[act] },
+	}
+}
+
+// DelReq3 is DelReq_M(a,a') of §3.3.4: an undelivered request message
+// is eventually delivered.
+func (s *System) DelReq3(a, aPrime int) *proof.LeadsTo {
+	from, to := s.Tree.Node(a).Name, s.Tree.Node(aPrime).Name
+	return &proof.LeadsTo{
+		Name: fmt.Sprintf("DelReq3(%s,%s)", from, to),
+		S: func(st ioa.State) bool {
+			ms, err := s.MsgStateOf(st)
+			return err == nil && ms.Has(from, to, KindRequest)
+		},
+		T: func(act ioa.Action) bool { return act == ReceiveRequest(from, to) },
+	}
+}
+
+// DelGr3 is DelGr_M(a,a') of §3.3.4 for grant messages.
+func (s *System) DelGr3(a, aPrime int) *proof.LeadsTo {
+	from, to := s.Tree.Node(a).Name, s.Tree.Node(aPrime).Name
+	return &proof.LeadsTo{
+		Name: fmt.Sprintf("DelGr3(%s,%s)", from, to),
+		S: func(st ioa.State) bool {
+			ms, err := s.MsgStateOf(st)
+			return err == nil && ms.Has(from, to, KindGrant)
+		},
+		T: func(act ioa.Action) bool { return act == ReceiveGrant(from, to) },
+	}
+}
+
+// C3 returns the conjunction C₃ = ⋀C_a ∧ C_M of §3.3.6: the progress
+// obligations of every process and every channel.
+func (s *System) C3() []*proof.LeadsTo {
+	var out []*proof.LeadsTo
+	for _, a := range s.Order {
+		for _, v := range s.Tree.Neighbors(a) {
+			out = append(out, s.FwdReq3(a, v))
+			for _, w := range s.Tree.Neighbors(a) {
+				out = append(out, s.FwdGr3(a, v, w))
+			}
+		}
+	}
+	for _, a := range s.Order {
+		for _, v := range s.Tree.Neighbors(a) {
+			if s.Tree.Node(v).Kind == graph.Arbiter {
+				out = append(out, s.DelReq3(a, v), s.DelGr3(a, v))
+			}
+		}
+	}
+	return out
+}
+
+// E3 builds the execution module E₃: executions of A₃ satisfying C₃
+// (§3.3.4, recharacterized globally by Lemma 47).
+func (s *System) E3() *proof.CondModule {
+	return &proof.CondModule{Name: "E3", Auto: s.A3, Goals: s.C3()}
+}
+
+func indexOf(xs []int, x int) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}
+
+// F2 builds the action mapping f₂ of §3.3.5, renaming A₃'s actions to
+// those of A₂ over the buffer-augmented graph 𝒢 (aug must be
+// graph.Augment of the system's tree; node IDs of original nodes
+// coincide):
+//
+//	receiverequest(u,a)  ↦ request(u,a)      (user edges)
+//	receivegrant(u,a)    ↦ grant(u,a)
+//	sendrequest(a,u)     ↦ request(a,u)
+//	sendgrant(a,u)       ↦ grant(a,u)
+//	receiverequest(a',a) ↦ request(b(a,a'),a) (buffered edges)
+//	receivegrant(a',a)   ↦ grant(b(a,a'),a)
+//	sendrequest(a,a')    ↦ request(a,b(a,a'))
+//	sendgrant(a,a')      ↦ grant(a,b(a,a'))
+func (s *System) F2(aug *graph.Tree) (*ioa.Mapping, error) {
+	pairs := make(map[ioa.Action]ioa.Action)
+	name := func(id int) string { return aug.Node(id).Name }
+	for _, a := range s.Order {
+		for _, v := range s.Tree.Neighbors(a) {
+			vName, aName := s.Tree.Node(v).Name, s.Tree.Node(a).Name
+			if s.Tree.Node(v).Kind == graph.User {
+				pairs[ReceiveRequest(vName, aName)] = ioa.Act("request", vName, aName)
+				pairs[ReceiveGrant(vName, aName)] = ioa.Act("grant", vName, aName)
+				pairs[SendRequest(aName, vName)] = ioa.Act("request", aName, vName)
+				pairs[SendGrant(aName, vName)] = ioa.Act("grant", aName, vName)
+				continue
+			}
+			b, err := bufferBetween(aug, a, v)
+			if err != nil {
+				return nil, err
+			}
+			pairs[ReceiveRequest(vName, aName)] = ioa.Act("request", name(b), aName)
+			pairs[ReceiveGrant(vName, aName)] = ioa.Act("grant", name(b), aName)
+			pairs[SendRequest(aName, vName)] = ioa.Act("request", aName, name(b))
+			pairs[SendGrant(aName, vName)] = ioa.Act("grant", aName, name(b))
+		}
+	}
+	return ioa.NewMapping(pairs)
+}
+
+// bufferBetween locates the buffer node adjacent to both a and v in
+// the augmented graph.
+func bufferBetween(aug *graph.Tree, a, v int) (int, error) {
+	for _, b := range aug.Neighbors(a) {
+		if aug.Node(b).Kind != graph.Buffer {
+			continue
+		}
+		for _, w := range aug.Neighbors(b) {
+			if w == v {
+				return b, nil
+			}
+		}
+	}
+	return -1, fmt.Errorf("dist: no buffer between %s and %s", aug.Node(a).Name, aug.Node(v).Name)
+}

@@ -1,0 +1,96 @@
+package dist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestConstructorErrors(t *testing.T) {
+	tr, err := graph.Figure32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	userID := tr.NodesOf(graph.User)[0]
+	if _, err := NewProcess(tr, userID, 0); err == nil {
+		t.Error("a user node is not a process")
+	}
+	if _, err := NewProcess(tr, 0, userID); err == nil {
+		t.Error("a user node cannot be the initial holder")
+	}
+	if _, err := New(tr, userID); err == nil {
+		t.Error("system with user holder must fail")
+	}
+}
+
+func TestF2RequiresAugmentedGraph(t *testing.T) {
+	tr, err := graph.Figure32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Passing the unaugmented graph: no buffers to map onto.
+	if _, err := sys.F2(tr); err == nil {
+		t.Error("F2 over a graph without buffers must fail")
+	}
+}
+
+func TestStateAccessorErrors(t *testing.T) {
+	tr, err := graph.Figure32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bogus := sys.Procs[0].Start()[0] // not a tuple state
+	if _, err := sys.ProcStateOf(bogus, 0); err == nil {
+		t.Error("non-composite state must be rejected")
+	}
+	if _, err := sys.MsgStateOf(bogus); err == nil {
+		t.Error("non-composite state must be rejected")
+	}
+	start := sys.Composite.Start()[0]
+	if _, err := sys.ProcStateOf(start, tr.NodesOf(graph.User)[0]); err == nil {
+		t.Error("user node has no process state")
+	}
+}
+
+// Property: MsgState queue operations behave like queues — pushes
+// append, pops remove the head, Len tracks, Keys are canonical.
+func TestMsgStateQueueProperties(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := NewMsgState(nil)
+		var model []string
+		for _, op := range ops {
+			kind := KindRequest
+			if op%2 == 1 {
+				kind = KindGrant
+			}
+			if op%3 == 0 && len(model) > 0 {
+				if !s.HeadIs("a", "b", model[0]) {
+					return false
+				}
+				s = s.pop("a", "b")
+				model = model[1:]
+			} else {
+				s = s.push("a", "b", kind)
+				model = append(model, kind)
+			}
+			if s.Len() != len(model) {
+				return false
+			}
+		}
+		// Rebuilding from the model yields an identical key.
+		rebuilt := NewMsgState(map[string][]string{"a>b": model})
+		return rebuilt.Key() == s.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,281 @@
+// Package mapping implements the possibilities mappings of Chapter 3:
+// h₁ from A₂′ (the renamed graph-level arbiter) to the specification
+// A₁ (§3.2.5), and h₂ from A₃′ (the renamed distributed arbiter) to A₂
+// over the buffer-augmented graph 𝒢 (§3.3.6), together with the
+// invariants I1 and I2 that make h₂ well-defined.
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/arbiter/dist"
+	"repro/internal/arbiter/graphlevel"
+	"repro/internal/arbiter/spec"
+	"repro/internal/graph"
+	"repro/internal/ioa"
+	"repro/internal/proof"
+)
+
+// H1 builds the possibilities mapping h₁ from a2r = f₁(A₂) to a1 =
+// A₁ (§3.2.5). The mapping is functional: the state t = h₁(s) has
+//
+//	u ∈ requesters  iff request ∈ arrows(u,a)
+//	holder = u      iff grant ∈ arrows(a,u)
+//	holder = a      iff no user-bound edge carries a grant arrow
+func H1(t *graph.Tree, a2r, a1 ioa.Automaton) *proof.PossMapping {
+	users := t.NodesOf(graph.User)
+	return &proof.PossMapping{
+		A: a2r,
+		B: a1,
+		Map: func(st ioa.State) []ioa.State {
+			s, ok := st.(*graphlevel.State)
+			if !ok {
+				return nil
+			}
+			req := make([]bool, len(users))
+			holder := -1
+			for i, u := range users {
+				att := t.UserAttachment(u)
+				req[i] = s.HasRequest(u, att)
+				if s.HasGrant(att, u) {
+					holder = i
+				}
+			}
+			return []ioa.State{spec.NewState(req, holder)}
+		},
+	}
+}
+
+// MapH1 applies the h₁ state function directly (for use in simulations
+// that track all three levels at once).
+func MapH1(t *graph.Tree, st *graphlevel.State) *spec.State {
+	users := t.NodesOf(graph.User)
+	req := make([]bool, len(users))
+	holder := -1
+	for i, u := range users {
+		att := t.UserAttachment(u)
+		req[i] = st.HasRequest(u, att)
+		if st.HasGrant(att, u) {
+			holder = i
+		}
+	}
+	return spec.NewState(req, holder)
+}
+
+// H2Map is the state function underlying h₂ (§3.3.6): it rebuilds the
+// arrow sets of A₂ over 𝒢 from the process and message states of A₃
+// using conditions U1–U4 and A1–A4.
+type H2Map struct {
+	// Sys is the distributed system (over G).
+	Sys *dist.System
+	// Aug is the buffer-augmented graph 𝒢.
+	Aug *graph.Tree
+}
+
+// NewH2Map prepares the h₂ state function.
+func NewH2Map(sys *dist.System, aug *graph.Tree) *H2Map {
+	return &H2Map{Sys: sys, Aug: aug}
+}
+
+// Apply maps a composite state of A₃ to the corresponding state of A₂
+// over 𝒢. It returns an error if the composite state is malformed.
+func (h *H2Map) Apply(st ioa.State) (*graphlevel.State, error) {
+	g := h.Sys.Tree
+	arrows := make([]uint8, h.Aug.DirectedEdges())
+	const (
+		bitRequest uint8 = 1
+		bitGrant   uint8 = 2
+	)
+	set := func(v, w int, bit uint8) error {
+		id, ok := h.Aug.EdgeID(v, w)
+		if !ok {
+			return fmt.Errorf("mapping: no edge (%s,%s) in 𝒢", h.Aug.Node(v).Name, h.Aug.Node(w).Name)
+		}
+		arrows[id] |= bit
+		return nil
+	}
+	msgs, err := h.Sys.MsgStateOf(st)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range h.Sys.Order {
+		ps, err := h.Sys.ProcStateOf(st, a)
+		if err != nil {
+			return nil, err
+		}
+		nb := g.Neighbors(a)
+		for i, v := range nb {
+			isUser := g.Node(v).Kind == graph.User
+			// "other" is the node on a's side of the edge in 𝒢: the
+			// user itself, or the buffer b(a,v).
+			other := v
+			if !isUser {
+				other, err = bufferBetween(h.Aug, a, v)
+				if err != nil {
+					return nil, err
+				}
+			}
+			// U1/A1: request into a iff v ∈ requesting_a.
+			if ps.Requesting(i) {
+				if err := set(other, a, bitRequest); err != nil {
+					return nil, err
+				}
+			}
+			// U2/A2: grant into a iff holding_a ∧ lastforward_a = v.
+			if ps.Holding() && ps.LastForward() == i {
+				if err := set(other, a, bitGrant); err != nil {
+					return nil, err
+				}
+			}
+			// U3/A3: request out of a iff requested_a ∧ lastforward_a = v.
+			if ps.Requested() && ps.LastForward() == i {
+				if err := set(a, other, bitRequest); err != nil {
+					return nil, err
+				}
+			}
+			if isUser {
+				// U4: grant ∈ arrows(a,u) iff ¬holding_a ∧ lastforward_a = u.
+				if !ps.Holding() && ps.LastForward() == i {
+					if err := set(a, other, bitGrant); err != nil {
+						return nil, err
+					}
+				}
+			} else if msgs.Has(g.Node(a).Name, g.Node(v).Name, dist.KindGrant) {
+				// A4: grant ∈ arrows(a, b(a,a')) iff (a,a',grant) ∈ messages.
+				if err := set(a, other, bitGrant); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return graphlevel.NewState(h.Aug, arrows), nil
+}
+
+// H2 builds the possibilities mapping h₂ from a3r = f₂(A₃) to a2 = A₂
+// over 𝒢. The mapping is functional (conditions U1–U4 and A1–A4
+// determine every arrow set); I1 and I2 are invariants validated
+// separately by CheckI1 and CheckI2.
+func (h *H2Map) H2(a3r, a2 ioa.Automaton) *proof.PossMapping {
+	return &proof.PossMapping{
+		A: a3r,
+		B: a2,
+		Map: func(st ioa.State) []ioa.State {
+			mapped, err := h.Apply(st)
+			if err != nil {
+				return nil
+			}
+			return []ioa.State{mapped}
+		},
+	}
+}
+
+// CheckI1 verifies invariant I1 of §3.3.6 on a composite state of A₃:
+// a request message (a,a′,request) is in transit iff, in the mapped
+// state, request ∈ arrows(a,b), request ∉ arrows(b,a′), and
+// grant ∉ arrows(a′,b).
+func (h *H2Map) CheckI1(st ioa.State) error {
+	g := h.Sys.Tree
+	mapped, err := h.Apply(st)
+	if err != nil {
+		return err
+	}
+	msgs, err := h.Sys.MsgStateOf(st)
+	if err != nil {
+		return err
+	}
+	for _, a := range h.Sys.Order {
+		for _, v := range g.Neighbors(a) {
+			if g.Node(v).Kind != graph.Arbiter {
+				continue
+			}
+			b, err := bufferBetween(h.Aug, a, v)
+			if err != nil {
+				return err
+			}
+			inTransit := msgs.Has(g.Node(a).Name, g.Node(v).Name, dist.KindRequest)
+			derived := mapped.HasRequest(a, b) && !mapped.HasRequest(b, v) && !mapped.HasGrant(v, b)
+			if inTransit != derived {
+				return fmt.Errorf("mapping: I1 violated for (%s,%s): inTransit=%t derived=%t",
+					g.Node(a).Name, g.Node(v).Name, inTransit, derived)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckI2 verifies invariant I2 of §3.3.6: (a, b(a,a′)) points toward
+// the root iff holding_a = false and lastforward_a = a′.
+func (h *H2Map) CheckI2(st ioa.State) error {
+	g := h.Sys.Tree
+	mapped, err := h.Apply(st)
+	if err != nil {
+		return err
+	}
+	root := mapped.Root()
+	if root < 0 {
+		return fmt.Errorf("mapping: mapped state has no root")
+	}
+	for _, a := range h.Sys.Order {
+		ps, err := h.Sys.ProcStateOf(st, a)
+		if err != nil {
+			return err
+		}
+		nb := g.Neighbors(a)
+		for i, v := range nb {
+			if g.Node(v).Kind != graph.Arbiter {
+				continue
+			}
+			b, err := bufferBetween(h.Aug, a, v)
+			if err != nil {
+				return err
+			}
+			toward := root != a && h.Aug.PointsToward(a, b, root)
+			want := !ps.Holding() && ps.LastForward() == i
+			if toward != want {
+				return fmt.Errorf("mapping: I2 violated at %s toward %s: pointsToward=%t holding=%t lf=%d",
+					g.Node(a).Name, g.Node(v).Name, toward, ps.Holding(), ps.LastForward())
+			}
+		}
+	}
+	return nil
+}
+
+// StartEdge computes the initial grant-arrow edge of A₂ over 𝒢 that
+// matches h₂ of the system's start state: the edge into the initial
+// holder from the direction of its lastForward neighbor.
+func (h *H2Map) StartEdge() (from, at int, err error) {
+	start := h.Sys.Composite.Start()[0]
+	for _, a := range h.Sys.Order {
+		ps, perr := h.Sys.ProcStateOf(start, a)
+		if perr != nil {
+			return 0, 0, perr
+		}
+		if !ps.Holding() {
+			continue
+		}
+		v := h.Sys.Tree.Neighbors(a)[ps.LastForward()]
+		if h.Sys.Tree.Node(v).Kind == graph.User {
+			return v, a, nil
+		}
+		b, berr := bufferBetween(h.Aug, a, v)
+		if berr != nil {
+			return 0, 0, berr
+		}
+		return b, a, nil
+	}
+	return 0, 0, fmt.Errorf("mapping: no process holds the resource in the start state")
+}
+
+func bufferBetween(aug *graph.Tree, a, v int) (int, error) {
+	for _, b := range aug.Neighbors(a) {
+		if aug.Node(b).Kind != graph.Buffer {
+			continue
+		}
+		for _, w := range aug.Neighbors(b) {
+			if w == v {
+				return b, nil
+			}
+		}
+	}
+	return -1, fmt.Errorf("mapping: no buffer between %s and %s", aug.Node(a).Name, aug.Node(v).Name)
+}

@@ -1,0 +1,168 @@
+// Package users provides environment automata for the arbiter: user
+// processes that request the resource, use it, and return it. A user
+// automaton speaks the specification-level interface (request(u) /
+// grant(u) / return(u)), so the same environment composes with A₁,
+// with f₁(A₂), and with f₁(f₂(A₃)) — which is what makes behaviors of
+// the three levels directly comparable.
+package users
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+)
+
+// Phase of a user's request/hold/return cycle.
+type Phase int
+
+// Phases.
+const (
+	Idle Phase = iota + 1
+	Waiting
+	Holding
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case Idle:
+		return "idle"
+	case Waiting:
+		return "waiting"
+	case Holding:
+		return "holding"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// State is a user-automaton state.
+type State struct {
+	phase Phase
+	// remaining counts rounds still to run; -1 means forever.
+	remaining int
+	key       string
+}
+
+var _ ioa.State = (*State)(nil)
+
+// NewState builds a user state.
+func NewState(phase Phase, remaining int) *State {
+	return &State{
+		phase:     phase,
+		remaining: remaining,
+		key:       fmt.Sprintf("%s/%d", phase, remaining),
+	}
+}
+
+// Key implements ioa.State.
+func (s *State) Key() string { return s.key }
+
+// Phase returns the user's phase.
+func (s *State) Phase() Phase { return s.phase }
+
+// Remaining returns the remaining round count (-1 = forever).
+func (s *State) Remaining() int { return s.remaining }
+
+// Config describes one user's behavior.
+type Config struct {
+	// Name is the user's node name (e.g. "u0").
+	Name string
+	// Rounds is how many request/hold/return rounds the user runs;
+	// -1 means forever (heavy load), 0 means the user never requests.
+	Rounds int
+	// Faulty, when true, makes the user also emit return(u) while not
+	// holding the resource (the "faulty user" of §3.1.2, whose bogus
+	// returns the arbiter must ignore). Used for failure-injection
+	// tests.
+	Faulty bool
+}
+
+// New builds a user automaton. Interface (matching A₁'s, §3.1.2):
+//
+//	output request(u): pre idle ∧ rounds remain; eff phase ← waiting
+//	input  grant(u):   if waiting then phase ← holding
+//	output return(u):  pre holding; eff phase ← idle, one round consumed
+//
+// All of the user's actions form a single fairness class, so under
+// fair scheduling a holding user eventually returns the resource —
+// the user obeys the RtnRes hypothesis by construction.
+func New(cfg Config) *ioa.Prog {
+	d := ioa.NewDef("U_" + cfg.Name)
+	d.Start(NewState(Idle, cfg.Rounds))
+	class := cfg.Name
+
+	d.Output(ioa.Act("request", cfg.Name), class,
+		func(st ioa.State) bool {
+			s := st.(*State)
+			return s.phase == Idle && s.remaining != 0
+		},
+		func(st ioa.State) ioa.State {
+			s := st.(*State)
+			return NewState(Waiting, s.remaining)
+		})
+	d.Input(ioa.Act("grant", cfg.Name), func(st ioa.State) ioa.State {
+		s := st.(*State)
+		if s.phase == Waiting {
+			return NewState(Holding, s.remaining)
+		}
+		return s
+	})
+	if cfg.Faulty {
+		d.OutputND(ioa.Act("return", cfg.Name), class, func(st ioa.State) []ioa.State {
+			s := st.(*State)
+			if s.phase == Holding {
+				return []ioa.State{NewState(Idle, dec(s.remaining))}
+			}
+			// Bogus return while not holding: state unchanged.
+			return []ioa.State{s}
+		})
+	} else {
+		d.Output(ioa.Act("return", cfg.Name), class,
+			func(st ioa.State) bool { return st.(*State).phase == Holding },
+			func(st ioa.State) ioa.State {
+				s := st.(*State)
+				return NewState(Idle, dec(s.remaining))
+			})
+	}
+	return d.MustBuild()
+}
+
+func dec(remaining int) int {
+	if remaining < 0 {
+		return remaining
+	}
+	return remaining - 1
+}
+
+// HeavyLoad builds n users that request forever.
+func HeavyLoad(names []string) []*ioa.Prog {
+	out := make([]*ioa.Prog, len(names))
+	for i, n := range names {
+		out[i] = New(Config{Name: n, Rounds: -1})
+	}
+	return out
+}
+
+// LightLoad builds n users of which only user `active` requests
+// (forever); the rest stay idle.
+func LightLoad(names []string, active int) []*ioa.Prog {
+	out := make([]*ioa.Prog, len(names))
+	for i, n := range names {
+		rounds := 0
+		if i == active {
+			rounds = -1
+		}
+		out[i] = New(Config{Name: n, Rounds: rounds})
+	}
+	return out
+}
+
+// Automata converts the slice for ioa.Compose.
+func Automata(us []*ioa.Prog) []ioa.Automaton {
+	out := make([]ioa.Automaton, len(us))
+	for i, u := range us {
+		out[i] = u
+	}
+	return out
+}

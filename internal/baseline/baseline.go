@@ -1,0 +1,252 @@
+// Package baseline implements the two resource arbiters of Lynch and
+// Fischer [LF81] that §3.4 of the paper compares Schönhage's arbiter
+// against: a round-robin polling arbiter (response Θ(n) regardless of
+// load) and a tournament-tree arbiter (Θ(log n) under light load but
+// Θ(n log n) under heavy load). Both are discrete-event models in
+// which every primitive step — one poll, one hop of the resource —
+// costs the same time bound b as one class-step of the timed arbiter
+// model, making the response-time series directly comparable.
+package baseline
+
+import (
+	"fmt"
+	"math"
+)
+
+// A Workload tells the simulators when users request. Requests are
+// re-issued immediately after each return for users marked always;
+// other users never request.
+type Workload struct {
+	// Always[i] reports that user i requests continuously (heavy
+	// load when all true; light load when exactly one).
+	Always []bool
+	// HoldTicks is how long a user holds the resource before
+	// returning (in units of b).
+	HoldTicks int
+}
+
+// LightLoad builds a workload where only user `active` requests.
+func LightLoad(n, active int) Workload {
+	w := Workload{Always: make([]bool, n), HoldTicks: 1}
+	w.Always[active] = true
+	return w
+}
+
+// HeavyLoad builds a workload where every user requests continuously.
+func HeavyLoad(n int) Workload {
+	w := Workload{Always: make([]bool, n), HoldTicks: 1}
+	for i := range w.Always {
+		w.Always[i] = true
+	}
+	return w
+}
+
+// Stats summarizes response times (time from a request being issued to
+// the matching grant), in units of b.
+type Stats struct {
+	Grants int
+	Max    float64
+	Sum    float64
+}
+
+// Mean returns the mean response time.
+func (s Stats) Mean() float64 {
+	if s.Grants == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Grants)
+}
+
+func (s *Stats) observe(resp float64) {
+	s.Grants++
+	s.Sum += resp
+	if resp > s.Max {
+		s.Max = resp
+	}
+}
+
+// RoundRobin simulates the [LF81] polling arbiter for n users over the
+// given number of grants: a single arbiter process cycles through the
+// users; each poll of a non-requesting user costs one tick (= b), and
+// granting, holding, and returning each cost ticks as configured.
+// It returns response-time statistics.
+func RoundRobin(n, grants int, w Workload) (Stats, error) {
+	if n < 1 {
+		return Stats{}, fmt.Errorf("baseline: need at least one user")
+	}
+	if len(w.Always) != n {
+		return Stats{}, fmt.Errorf("baseline: workload sized %d for %d users", len(w.Always), n)
+	}
+	var st Stats
+	reqAt := make([]float64, n) // time of pending request; NaN if none
+	for i := range reqAt {
+		reqAt[i] = math.NaN()
+		if w.Always[i] {
+			reqAt[i] = 0
+		}
+	}
+	now := 0.0
+	pos := 0
+	for st.Grants < grants {
+		// Deadlock guard: nobody requesting.
+		idle := true
+		for i := range reqAt {
+			if !math.IsNaN(reqAt[i]) {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			return st, nil
+		}
+		if math.IsNaN(reqAt[pos]) {
+			now++ // poll a non-requesting user
+			pos = (pos + 1) % n
+			continue
+		}
+		now++ // grant hop
+		st.observe(now - reqAt[pos])
+		reqAt[pos] = math.NaN()
+		now += float64(w.HoldTicks) // user holds
+		now++                       // return hop
+		if w.Always[pos] {
+			reqAt[pos] = now
+		}
+		pos = (pos + 1) % n
+	}
+	return st, nil
+}
+
+// tourNode is one internal node of the tournament tree.
+type tourNode struct {
+	parent    int
+	child     [2]int // child node indices (internal or leaf)
+	pollNext  int    // which child to poll next
+	candidate int    // leaf id latched upward, or -1
+}
+
+// Tournament simulates the [LF81] tournament-tree arbiter: users sit
+// at the leaves of a binary tree; each internal node repeatedly polls
+// its children, alternating, one poll per tick; when a poll finds a
+// requesting child (a requesting leaf, or a child node with a latched
+// candidate), the node latches the candidate and stops polling; the
+// root grants to its latched candidate, the grant travels one tick per
+// level down, the user holds and returns, and the return travels back
+// up, unlatching the path so polling resumes at the sibling.
+func Tournament(n, grants int, w Workload) (Stats, error) {
+	if n < 1 {
+		return Stats{}, fmt.Errorf("baseline: need at least one user")
+	}
+	if len(w.Always) != n {
+		return Stats{}, fmt.Errorf("baseline: workload sized %d for %d users", len(w.Always), n)
+	}
+	if n == 1 {
+		// Degenerate tree: the lone user is served directly.
+		var st Stats
+		now := 0.0
+		for st.Grants < grants {
+			if !w.Always[0] {
+				return st, nil
+			}
+			reqAt := now
+			now++ // grant
+			st.observe(now - reqAt)
+			now += float64(w.HoldTicks) + 1 // hold + return
+		}
+		return st, nil
+	}
+	// Round up to a power of two; absent leaves never request.
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	levels := 0
+	for 1<<levels < size {
+		levels++
+	}
+	// Heap layout: internal nodes 0..size-2, leaves size-1..2size-2.
+	nInternal := size - 1
+	nodes := make([]tourNode, nInternal)
+	for i := range nodes {
+		nodes[i].parent = (i - 1) / 2
+		nodes[i].child = [2]int{2*i + 1, 2*i + 2}
+		nodes[i].candidate = -1
+	}
+	reqAt := make([]float64, n)
+	for i := range reqAt {
+		reqAt[i] = math.NaN()
+		if w.Always[i] {
+			reqAt[i] = 0
+		}
+	}
+	requesting := func(nodeOrLeaf int) int {
+		if nodeOrLeaf >= nInternal { // leaf
+			u := nodeOrLeaf - nInternal
+			if u < n && !math.IsNaN(reqAt[u]) {
+				return u
+			}
+			return -1
+		}
+		return nodes[nodeOrLeaf].candidate
+	}
+	var st Stats
+	now := 0.0
+	steps := 0
+	maxSteps := grants*(4*levels+4)*(n+2) + 1000
+	for st.Grants < grants {
+		steps++
+		if steps > maxSteps {
+			return st, fmt.Errorf("baseline: tournament stalled after %d steps (%d grants)", steps, st.Grants)
+		}
+		idle := true
+		for i := range reqAt {
+			if !math.IsNaN(reqAt[i]) {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			return st, nil
+		}
+		// One tick: every un-latched internal node polls one child.
+		// Top-down iteration keeps propagation honest: a candidate
+		// latched by a child this tick is seen by its parent only on
+		// the parent's next poll.
+		now++
+		for i := 0; i < nInternal; i++ {
+			nd := &nodes[i]
+			if nd.candidate >= 0 {
+				continue
+			}
+			c := nd.child[nd.pollNext]
+			nd.pollNext = 1 - nd.pollNext
+			if u := requesting(c); u >= 0 {
+				nd.candidate = u
+				if c < nInternal {
+					nodes[c].candidate = -1 // name passed up; child resumes
+				}
+			}
+		}
+		// Root grants when it holds a candidate.
+		if nodes[0].candidate >= 0 {
+			u := nodes[0].candidate
+			nodes[0].candidate = -1
+			now += float64(levels) // grant travels down
+			st.observe(now - reqAt[u])
+			reqAt[u] = math.NaN()
+			now += float64(w.HoldTicks) // user holds
+			now += float64(levels)      // return travels up
+			if w.Always[u] {
+				reqAt[u] = now
+			}
+			// Unlatch any stale candidates for u on the path (the
+			// leaf's ancestors may have re-latched it meanwhile).
+			for i := range nodes {
+				if nodes[i].candidate == u {
+					nodes[i].candidate = -1
+				}
+			}
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,160 @@
+package baseline
+
+import (
+	"testing"
+)
+
+func TestRoundRobinLightLoadLinearInN(t *testing.T) {
+	// The poller must scan past every non-requesting user: response
+	// grows linearly with n even when only one user requests.
+	var prev float64
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		st, err := RoundRobin(n, 3, LightLoad(n, n-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Grants != 3 {
+			t.Fatalf("n=%d grants=%d", n, st.Grants)
+		}
+		if st.Max < float64(n)-2 {
+			t.Errorf("n=%d light max=%.0f; expected ≈ n scan cost", n, st.Max)
+		}
+		if st.Max <= prev {
+			t.Errorf("n=%d: response must grow with n (%.0f ≤ %.0f)", n, st.Max, prev)
+		}
+		prev = st.Max
+	}
+}
+
+func TestRoundRobinHeavyLoadLinearInN(t *testing.T) {
+	var prev float64
+	for _, n := range []int{4, 8, 16, 32} {
+		st, err := RoundRobin(n, 4*n, HeavyLoad(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Max <= prev {
+			t.Errorf("n=%d: heavy response must grow (%.0f ≤ %.0f)", n, st.Max, prev)
+		}
+		// Θ(n): between a user's grants everyone else is served once.
+		if st.Max > 6*float64(n) {
+			t.Errorf("n=%d heavy max=%.0f; not Θ(n)", n, st.Max)
+		}
+		prev = st.Max
+	}
+}
+
+func TestRoundRobinIdleStops(t *testing.T) {
+	st, err := RoundRobin(4, 10, Workload{Always: make([]bool, 4), HoldTicks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Grants != 0 {
+		t.Errorf("no requests, yet %d grants", st.Grants)
+	}
+}
+
+func TestRoundRobinValidation(t *testing.T) {
+	if _, err := RoundRobin(0, 1, Workload{}); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := RoundRobin(3, 1, Workload{Always: make([]bool, 2)}); err == nil {
+		t.Error("workload size mismatch must fail")
+	}
+}
+
+func TestTournamentLightLoadLogarithmic(t *testing.T) {
+	// Response under light load must grow much slower than n.
+	resp := map[int]float64{}
+	for _, n := range []int{4, 16, 64, 256} {
+		st, err := Tournament(n, 3, LightLoad(n, n-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp[n] = st.Max
+		if st.Max > 10*float64(log2(n)+1) {
+			t.Errorf("n=%d light max=%.0f; not O(log n)", n, st.Max)
+		}
+	}
+	// Quadrupling n must far less than quadruple the response.
+	if resp[256] > 3*resp[16] {
+		t.Errorf("light-load growth too fast: %v", resp)
+	}
+}
+
+func TestTournamentHeavyLoadSuperlinear(t *testing.T) {
+	// Heavy load: response ≈ n · 2·log n (each grant serializes a
+	// full root-leaf round trip).
+	for _, n := range []int{4, 8, 16, 32} {
+		st, err := Tournament(n, 4*n, HeavyLoad(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lower := float64((n-1)*2*log2(n)) * 0.5
+		if st.Max < lower {
+			t.Errorf("n=%d heavy max=%.0f < %.0f; expected Θ(n log n)", n, st.Max, lower)
+		}
+	}
+	// Ratio test: heavy tournament grows faster than linear.
+	st8, err := Tournament(8, 32, HeavyLoad(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st64, err := Tournament(64, 256, HeavyLoad(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st64.Max/st8.Max < 8 { // linear growth would give exactly 8
+		t.Errorf("heavy growth 8→64: %.0f → %.0f; want superlinear", st8.Max, st64.Max)
+	}
+}
+
+func TestTournamentIdleStops(t *testing.T) {
+	st, err := Tournament(4, 10, Workload{Always: make([]bool, 4), HoldTicks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Grants != 0 {
+		t.Errorf("no requests, yet %d grants", st.Grants)
+	}
+}
+
+func TestTournamentNonPowerOfTwo(t *testing.T) {
+	st, err := Tournament(5, 20, HeavyLoad(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Grants != 20 {
+		t.Errorf("grants = %d", st.Grants)
+	}
+}
+
+func TestTournamentSingleUser(t *testing.T) {
+	st, err := Tournament(1, 3, HeavyLoad(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Grants != 3 {
+		t.Errorf("grants = %d", st.Grants)
+	}
+}
+
+func TestStatsMean(t *testing.T) {
+	var s Stats
+	if s.Mean() != 0 {
+		t.Error("empty mean must be 0")
+	}
+	s.observe(2)
+	s.observe(4)
+	if s.Mean() != 3 || s.Max != 4 || s.Grants != 2 {
+		t.Errorf("stats wrong: %+v", s)
+	}
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}

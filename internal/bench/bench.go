@@ -1,0 +1,381 @@
+// Package bench is the experiment harness for the §3.4 complexity
+// analysis: it runs b-bounded timed executions of the arbiter at the
+// A₂ level of abstraction (exactly the level at which the paper
+// analyzes response time), measures responses, and regenerates the
+// paper's quantitative claims:
+//
+//   - Theorem 50: light-load response ≤ 2bd (d = diameter);
+//   - Theorem 52: heavy-load response ≤ 3be − b (e = edges);
+//   - the closing remark: combined grant+request messages ⇒ ≈ 2be;
+//   - the comparison against the [LF81] round-robin and tournament
+//     arbiters (Θ(n)/Θ(n) and Θ(log n)/Θ(n log n) respectively).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/arbiter/graphlevel"
+	"repro/internal/arbiter/users"
+	"repro/internal/baseline"
+	"repro/internal/graph"
+	"repro/internal/ioa"
+	"repro/internal/sim"
+)
+
+// Load selects the request pattern.
+type Load int
+
+// Loads.
+const (
+	// Light: a single user requests, repeatedly.
+	Light Load = iota + 1
+	// Heavy: every user requests continuously.
+	Heavy
+)
+
+// Result summarizes one timed arbiter run.
+type Result struct {
+	// Stats aggregates response times (request(u) to grant(u)), in
+	// the same time units as b.
+	Stats baseline.Stats
+	// First is the response time of the very first grant.
+	First float64
+	// Steps is the number of automaton steps executed.
+	Steps int
+	// Duration is the simulated end time.
+	Duration float64
+	// EdgeMsgs counts arbiter-internal arrow movements (messages
+	// crossing internal edges). The §3.4 closing remark's 3-vs-2
+	// messages-per-edge argument shows up here: the combined variant
+	// sends about a third fewer messages under heavy load.
+	EdgeMsgs int
+	// Tx is the recorded timed execution (when Config.Record is set).
+	Tx *sim.TimedExecution
+}
+
+// Config parameterizes a timed arbiter run.
+type Config struct {
+	Tree *graph.Tree
+	// Holder is the arbiter node initially holding the resource.
+	Holder int
+	Load   Load
+	// Active is the requesting user index (user nodes in ID order)
+	// under Light load.
+	Active int
+	// B is the per-class time bound.
+	B float64
+	// Grants is how many grants to run before stopping.
+	Grants int
+	// Combine enables the combined grant+request optimization.
+	Combine bool
+	Seed    int64
+	// MaxSteps caps the run (a safety net; 0 picks a default).
+	MaxSteps int
+	// Record keeps the full timed execution on the Result for
+	// post-hoc condition checking (costs memory on long runs).
+	Record bool
+}
+
+// Run executes a b-bounded timed execution of f₁(A₂) composed with
+// user automata under the configured load, using the lazy (worst-case)
+// scheduler, and returns response-time measurements.
+func Run(cfg Config) (*Result, error) {
+	t := cfg.Tree
+	userIDs := t.NodesOf(graph.User)
+	names := make([]string, len(userIDs))
+	for i, u := range userIDs {
+		names[i] = t.Node(u).Name
+	}
+	rootFrom := t.Neighbors(cfg.Holder)[0]
+	a2, err := graphlevel.NewWithOptions(t, rootFrom, cfg.Holder, graphlevel.Options{
+		CombineGrantRequest: cfg.Combine,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// One fairness class per action: the b-bounded discipline then
+	// matches the per-condition bounds BndedFwdReq₂/BndedFwdGr₂ of
+	// §3.4 exactly.
+	perAction := func(a ioa.Action) string { return string(a) }
+	arb, err := ioa.Rename(a2.Relabel(perAction), graphlevel.F1(t))
+	if err != nil {
+		return nil, err
+	}
+	var env []*ioa.Prog
+	switch cfg.Load {
+	case Light:
+		env = users.LightLoad(names, cfg.Active)
+	case Heavy:
+		env = users.HeavyLoad(names)
+	default:
+		return nil, fmt.Errorf("bench: unknown load %d", cfg.Load)
+	}
+	comps := []ioa.Automaton{arb}
+	for _, u := range env {
+		comps = append(comps, u.Relabel(perAction))
+	}
+	closed, err := ioa.Compose("timed-arbiter", comps...)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{First: math.NaN()}
+	pending := make(map[string]float64, len(names))
+	observe := func(x *ioa.Execution, now float64) {
+		act := x.Acts[len(x.Acts)-1]
+		if len(act.Params()) != 1 {
+			if len(act.Params()) == 2 {
+				res.EdgeMsgs++
+			}
+			return
+		}
+		u := act.Params()[0]
+		switch act.Base() {
+		case "request":
+			if _, dup := pending[u]; !dup {
+				pending[u] = now
+			}
+		case "grant":
+			if t0, ok := pending[u]; ok {
+				resp := now - t0
+				res.Stats.Grants++
+				res.Stats.Sum += resp
+				if resp > res.Stats.Max {
+					res.Stats.Max = resp
+				}
+				if math.IsNaN(res.First) {
+					res.First = resp
+				}
+				delete(pending, u)
+			}
+		}
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 200 * cfg.Grants * (t.EdgeCount() + 2)
+	}
+	runner := &sim.TimedRunner{
+		Auto:    closed,
+		Bounds:  sim.UniformBounds(cfg.B),
+		Tempo:   sim.Lazy,
+		Seed:    cfg.Seed,
+		Observe: observe,
+	}
+	tx, err := runner.Run(maxSteps, func(*sim.TimedExecution) bool {
+		return res.Stats.Grants >= cfg.Grants
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Stats.Grants < cfg.Grants {
+		return nil, fmt.Errorf("bench: only %d/%d grants after %d steps", res.Stats.Grants, cfg.Grants, tx.Exec.Len())
+	}
+	res.Steps = tx.Exec.Len()
+	res.Duration = tx.Now()
+	if cfg.Record {
+		res.Tx = tx
+	}
+	return res, nil
+}
+
+// FarthestHolderFrom returns the arbiter node maximizing tree distance
+// from user u — the adversarial initial placement for light-load
+// response measurements.
+func FarthestHolderFrom(t *graph.Tree, u int) int {
+	best, bestD := -1, -1
+	for _, a := range t.NodesOf(graph.Arbiter) {
+		if d := t.PathLen(u, a); d > bestD {
+			best, bestD = a, d
+		}
+	}
+	return best
+}
+
+// A Row is one line of an experiment table.
+type Row struct {
+	Label   string
+	N       int     // number of users
+	D       int     // graph diameter
+	E       int     // graph edges
+	Max     float64 // max observed response (units of b)
+	Mean    float64
+	First   float64
+	Bound   float64 // the paper's bound for this configuration
+	WithinB bool    // observed ≤ bound
+	// MsgsPerGrant is the mean number of internal-edge messages per
+	// grant (populated by heavy-load sweeps).
+	MsgsPerGrant float64
+}
+
+// Theorem50 sweeps light-load first-response times over trees built by
+// build (e.g. graph.BinaryTree or a line builder), checking the
+// 2bd bound of Theorem 50.
+func Theorem50(sizes []int, b float64, build func(int) (*graph.Tree, error), seed int64) ([]Row, error) {
+	var rows []Row
+	for _, n := range sizes {
+		t, err := build(n)
+		if err != nil {
+			return nil, err
+		}
+		active := 0
+		uid := t.NodesOf(graph.User)[active]
+		res, err := Run(Config{
+			Tree:   t,
+			Holder: FarthestHolderFrom(t, uid),
+			Load:   Light,
+			Active: active,
+			B:      b,
+			Grants: 3,
+			Seed:   seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bound := 2 * b * float64(t.Diameter())
+		rows = append(rows, Row{
+			Label: fmt.Sprintf("n=%d", n), N: n, D: t.Diameter(), E: t.EdgeCount(),
+			Max: res.Stats.Max, Mean: res.Stats.Mean(), First: res.First,
+			Bound: bound, WithinB: res.Stats.Max <= bound+1e-9,
+		})
+	}
+	return rows, nil
+}
+
+// Theorem52 sweeps heavy-load maximum response times, checking the
+// 3be − b bound of Theorem 52. When combine is true the combined
+// grant+request variant is used and the bound tightens to 2be.
+func Theorem52(sizes []int, b float64, combine bool, seed int64) ([]Row, error) {
+	var rows []Row
+	for _, n := range sizes {
+		t, err := graph.BinaryTree(n)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(Config{
+			Tree:    t,
+			Holder:  t.NodesOf(graph.Arbiter)[0],
+			Load:    Heavy,
+			B:       b,
+			Grants:  6 * n,
+			Combine: combine,
+			Seed:    seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e := float64(t.EdgeCount())
+		bound := 3*b*e - b
+		if combine {
+			bound = 2 * b * e
+		}
+		rows = append(rows, Row{
+			Label: fmt.Sprintf("n=%d", n), N: n, D: t.Diameter(), E: t.EdgeCount(),
+			Max: res.Stats.Max, Mean: res.Stats.Mean(), First: res.First,
+			Bound: bound, WithinB: res.Stats.Max <= bound+1e-9,
+			MsgsPerGrant: float64(res.EdgeMsgs) / float64(res.Stats.Grants),
+		})
+	}
+	return rows, nil
+}
+
+// CompareRow is one line of the §3.4 arbiter comparison, extended with
+// the token-ring arbiter of internal/ring.
+type CompareRow struct {
+	N          int
+	SchonLight float64 // Schönhage max response, light load
+	SchonHeavy float64 // Schönhage max response, heavy load
+	RRLight    float64 // round-robin
+	RRHeavy    float64
+	TournLight float64 // tournament tree
+	TournHeavy float64
+	RingLight  float64 // token ring
+	RingHeavy  float64
+}
+
+// Comparison regenerates the arbiter comparison of §3.4 ¶1 over binary
+// trees with n users.
+func Comparison(sizes []int, b float64, seed int64) ([]CompareRow, error) {
+	var rows []CompareRow
+	for _, n := range sizes {
+		t, err := graph.BinaryTree(n)
+		if err != nil {
+			return nil, err
+		}
+		uid := t.NodesOf(graph.User)[0]
+		light, err := Run(Config{
+			Tree: t, Holder: FarthestHolderFrom(t, uid), Load: Light, Active: 0,
+			B: b, Grants: 3, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		heavy, err := Run(Config{
+			Tree: t, Holder: t.NodesOf(graph.Arbiter)[0], Load: Heavy,
+			B: b, Grants: 6 * n, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rrL, err := baseline.RoundRobin(n, 3, baseline.LightLoad(n, n-1))
+		if err != nil {
+			return nil, err
+		}
+		rrH, err := baseline.RoundRobin(n, 6*n, baseline.HeavyLoad(n))
+		if err != nil {
+			return nil, err
+		}
+		toL, err := baseline.Tournament(n, 3, baseline.LightLoad(n, n-1))
+		if err != nil {
+			return nil, err
+		}
+		toH, err := baseline.Tournament(n, 6*n, baseline.HeavyLoad(n))
+		if err != nil {
+			return nil, err
+		}
+		ringL, err := RunRing(n, Light, b, 3, seed)
+		if err != nil {
+			return nil, err
+		}
+		ringH, err := RunRing(n, Heavy, b, 6*n, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CompareRow{
+			N:          n,
+			SchonLight: light.Stats.Max, SchonHeavy: heavy.Stats.Max,
+			RRLight: rrL.Max, RRHeavy: rrH.Max,
+			TournLight: toL.Max, TournHeavy: toH.Max,
+			RingLight: ringL.Stats.Max, RingHeavy: ringH.Stats.Max,
+		})
+	}
+	return rows, nil
+}
+
+// PrintRows renders an experiment table.
+func PrintRows(w io.Writer, title string, rows []Row) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	fmt.Fprintf(w, "%-8s %4s %4s %4s %10s %10s %10s %10s %9s %s\n",
+		"config", "n", "d", "e", "first", "mean", "max", "bound", "msgs/gr", "ok")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %4d %4d %4d %10.1f %10.1f %10.1f %10.1f %9.1f %t\n",
+			r.Label, r.N, r.D, r.E, r.First, r.Mean, r.Max, r.Bound, r.MsgsPerGrant, r.WithinB)
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintComparison renders the arbiter comparison table.
+func PrintComparison(w io.Writer, rows []CompareRow) {
+	title := "Arbiter comparison (max response, units of b; light / heavy load)"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	fmt.Fprintf(w, "%4s | %12s | %12s | %12s | %12s\n",
+		"n", "Schönhage", "round-robin", "tournament", "token ring")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4d | %5.0f /%5.0f | %5.0f /%5.0f | %5.0f /%5.0f | %5.0f /%5.0f\n",
+			r.N, r.SchonLight, r.SchonHeavy, r.RRLight, r.RRHeavy,
+			r.TournLight, r.TournHeavy, r.RingLight, r.RingHeavy)
+	}
+	fmt.Fprintln(w)
+}

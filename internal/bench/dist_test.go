@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+func TestDistVsGraphShape(t *testing.T) {
+	rows, err := DistVsGraph([]int{2, 4, 8}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for _, r := range rows {
+		if !r.Within {
+			t.Errorf("n=%d: A3 max %.1f exceeds 3b·e(𝒢)−b = %.1f", r.N, r.A3Max, r.BoundAug)
+		}
+		if r.A3Max <= prev {
+			t.Errorf("n=%d: A3 heavy response should grow with e", r.N)
+		}
+		prev = r.A3Max
+		// The detailed level tracks the A2-over-G analysis: more edges
+		// (buffers) cost more time, but by a bounded factor.
+		if r.A3Max < r.A2Max {
+			t.Errorf("n=%d: A3 (%.1f) should not beat A2-over-G (%.1f): buffered hops cost time",
+				r.N, r.A3Max, r.A2Max)
+		}
+		if r.A3Max > 3*r.A2Max+10 {
+			t.Errorf("n=%d: A3 (%.1f) wildly above A2 (%.1f)", r.N, r.A3Max, r.A2Max)
+		}
+	}
+	t.Logf("A2 vs A3 heavy-load max response: %+v", rows)
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/arbiter/graphlevel"
+	"repro/internal/graph"
+	"repro/internal/ioa"
+	"repro/internal/proof"
+	"repro/internal/sim"
+)
+
+// TestBndedConditionsOnLazyRun checks the §3.4 timed conditions
+// explicitly on a recorded b-bounded run: BndedFwdReq₂, BndedFwdGr₂,
+// and BndedRtnRes₂ all hold within a small constant factor of b.
+//
+// The factor exists because a condition's discharging action can be
+// preempted: while grant(a,y₁) waits out its bound, a request from a
+// closer neighbor y₀ ∈ (w,y₁) can arrive and redirect the grant —
+// restarting the per-class clock. Each preemption is itself a
+// T-action-enabling event, and the chain is bounded by the node's
+// degree, so bound = deg·b is safe; we check with 3b on binary trees.
+func TestBndedConditionsOnLazyRun(t *testing.T) {
+	tr, err := graph.BinaryTree(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const b = 1.0
+	res, err := Run(Config{
+		Tree:   tr,
+		Holder: tr.NodesOf(graph.Arbiter)[0],
+		Load:   Heavy,
+		B:      b,
+		Grants: 40,
+		Seed:   3,
+		Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tx == nil {
+		t.Fatal("Record did not keep the execution")
+	}
+	// The run itself must be b-bounded per class.
+	if err := sim.CheckBBounded(res.Tx, sim.UniformBounds(b), 1e-9); err != nil {
+		t.Fatalf("not b-bounded: %v", err)
+	}
+
+	// Lift the A2-state conditions to the composite state via Lemma 34
+	// (component 0 is the renamed arbiter; f1 leaves states alone).
+	var conds []*proof.LeadsTo
+	for _, c := range graphlevel.C2(tr) {
+		conds = append(conds, proof.OnComponent(0, translateT(tr, c)))
+	}
+	for _, u := range tr.NodesOf(graph.User) {
+		conds = append(conds, proof.OnComponent(0, translateT(tr, graphlevel.RtnRes2(tr, u))))
+	}
+	timed := sim.BoundedAll(conds, 3*b)
+	if err := sim.CheckTimedLeadsTo(res.Tx, timed, 1e-9); err != nil {
+		t.Errorf("timed condition violated: %v", err)
+	}
+	// Report tightness.
+	lat := sim.TimedLatency(res.Tx, timed)
+	worstName, worst := "", 0.0
+	for name, l := range lat {
+		if l > worst {
+			worstName, worst = name, l
+		}
+	}
+	t.Logf("worst observed condition latency: %s = %.1f (bound %.1f)", worstName, worst, 3*b)
+}
+
+// translateT rewrites a condition's T-predicate through the f1
+// renaming: the recorded execution's actions use A1-style names at
+// user ports.
+func translateT(tr *graph.Tree, c *proof.LeadsTo) *proof.LeadsTo {
+	f1 := graphlevel.F1(tr)
+	return &proof.LeadsTo{
+		Name: c.Name,
+		S:    c.S,
+		T:    func(a ioa.Action) bool { return c.T(f1.Invert(a)) },
+	}
+}

@@ -1,0 +1,238 @@
+// Package figures constructs the example automata of the paper's
+// figures: Figure 2.1 (composition of two alternating automata),
+// Figure 2.2 (why the partition of locally-controlled actions is
+// load-bearing for fairness), and Figure 2.3 (fair and unfair
+// equivalence are incomparable). These small systems are used by the
+// test suite, the examples, and the benchmark harness.
+package figures
+
+import (
+	"repro/internal/ioa"
+)
+
+// Figure 2.1: automaton A has output α and input β; automaton B has
+// output β and input α. Each waits for the other before emitting its
+// own output again, so in the composition A·B the outputs alternate
+// α β α β …
+
+// Alpha and Beta are the two actions of Figures 2.1 and 2.2.
+const (
+	Alpha = ioa.Action("α")
+	Beta  = ioa.Action("β")
+)
+
+// Fig21A builds automaton A of Figure 2.1: states a0 (ready to emit α)
+// and a1 (waiting for β).
+func Fig21A() *ioa.Table {
+	sig := ioa.MustSignature([]ioa.Action{Beta}, []ioa.Action{Alpha}, nil)
+	return ioa.MustTable("Fig21A", sig,
+		[]ioa.State{ioa.KeyState("a0")},
+		[]ioa.Step{
+			{From: ioa.KeyState("a0"), Act: Alpha, To: ioa.KeyState("a1")},
+			{From: ioa.KeyState("a1"), Act: Beta, To: ioa.KeyState("a0")},
+		},
+		[]ioa.Class{{Name: "A", Actions: ioa.NewSet(Alpha)}},
+	)
+}
+
+// Fig21B builds automaton B of Figure 2.1: it emits β only after
+// seeing α.
+func Fig21B() *ioa.Table {
+	sig := ioa.MustSignature([]ioa.Action{Alpha}, []ioa.Action{Beta}, nil)
+	return ioa.MustTable("Fig21B", sig,
+		[]ioa.State{ioa.KeyState("b0")},
+		[]ioa.Step{
+			{From: ioa.KeyState("b0"), Act: Alpha, To: ioa.KeyState("b1")},
+			{From: ioa.KeyState("b1"), Act: Beta, To: ioa.KeyState("b0")},
+		},
+		[]ioa.Class{{Name: "B", Actions: ioa.NewSet(Beta)}},
+	)
+}
+
+// Fig21 builds the composition A·B of Figure 2.1. All of its actions
+// are outputs, and its partition keeps α and β in separate classes.
+func Fig21() *ioa.Composite {
+	return ioa.MustCompose("Fig21", Fig21A(), Fig21B())
+}
+
+// Figure 2.2: automata A and B with input α and outputs β (A) and γ
+// (B). Each toggles between a state where its output is enabled and
+// one where it is not, driven by α. In the composition, from every
+// state some locally-controlled action is enabled, yet the execution
+// α α α … lets each component individually pass infinitely often
+// through states where its own output is disabled. With the partition
+// ({β},{γ}) that execution is fair; if β and γ were merged into one
+// class it would not be — the partition carries real information.
+
+// Gamma is B's output action in Figure 2.2.
+const Gamma = ioa.Action("γ")
+
+// Fig22A builds automaton A of Figure 2.2: β is enabled only in state
+// p1, and α toggles p0↔p1.
+func Fig22A() *ioa.Table {
+	sig := ioa.MustSignature([]ioa.Action{Alpha}, []ioa.Action{Beta}, nil)
+	return ioa.MustTable("Fig22A", sig,
+		[]ioa.State{ioa.KeyState("p0")},
+		[]ioa.Step{
+			{From: ioa.KeyState("p0"), Act: Alpha, To: ioa.KeyState("p1")},
+			{From: ioa.KeyState("p1"), Act: Alpha, To: ioa.KeyState("p0")},
+			{From: ioa.KeyState("p1"), Act: Beta, To: ioa.KeyState("p1")},
+		},
+		[]ioa.Class{{Name: "A", Actions: ioa.NewSet(Beta)}},
+	)
+}
+
+// Fig22B builds automaton B of Figure 2.2: γ is enabled only in state
+// q0, and α toggles q0↔q1 — out of phase with A, so in the
+// composition every state enables exactly one of β, γ.
+func Fig22B() *ioa.Table {
+	sig := ioa.MustSignature([]ioa.Action{Alpha}, []ioa.Action{Gamma}, nil)
+	return ioa.MustTable("Fig22B", sig,
+		[]ioa.State{ioa.KeyState("q0")},
+		[]ioa.Step{
+			{From: ioa.KeyState("q0"), Act: Alpha, To: ioa.KeyState("q1")},
+			{From: ioa.KeyState("q1"), Act: Alpha, To: ioa.KeyState("q0")},
+			{From: ioa.KeyState("q0"), Act: Gamma, To: ioa.KeyState("q0")},
+		},
+		[]ioa.Class{{Name: "B", Actions: ioa.NewSet(Gamma)}},
+	)
+}
+
+// Fig22 builds the composition of Figure 2.2 with the faithful
+// partition ({β},{γ}).
+func Fig22() *ioa.Composite {
+	return ioa.MustCompose("Fig22", Fig22A(), Fig22B())
+}
+
+// Fig22Merged builds the same system but with β and γ merged into a
+// single class, modeling the loss of the component structure the
+// partition records.
+func Fig22Merged() ioa.Automaton {
+	c := Fig22()
+	return &mergedParts{
+		Automaton: c,
+		parts:     []ioa.Class{{Name: "merged", Actions: ioa.NewSet(Beta, Gamma)}},
+	}
+}
+
+// mergedParts overrides an automaton's partition.
+type mergedParts struct {
+	ioa.Automaton
+	parts []ioa.Class
+}
+
+// Parts implements ioa.Automaton.
+func (m *mergedParts) Parts() []ioa.Class { return m.parts }
+
+// Figure 2.3: four automata demonstrating that fair equivalence and
+// unfair equivalence are incomparable.
+//
+// A and B are primitive automata with input α and output β, with
+// identical unfair behavior (all finite sequences over {α,β}, and all
+// infinite ones), but A's fair behavior contains the infinite sequence
+// α^ω (A can nondeterministically move under α to a state where β is
+// disabled) while B's does not (β is enabled from B's every state, so
+// an infinite fair execution must contain β infinitely often).
+//
+// C and D have output actions α and β in separate classes. They are
+// fairly equivalent (fair behaviors: α^k β α^ω) but unfairly
+// inequivalent (C's unfair behavior contains α^ω; D's does not,
+// because D can emit α only after emitting β).
+
+// Fig23A builds automaton A: α nondeterministically keeps β enabled
+// (state s0) or disables it (state s1).
+func Fig23A() *ioa.Table {
+	sig := ioa.MustSignature([]ioa.Action{Alpha}, []ioa.Action{Beta}, nil)
+	return ioa.MustTable("Fig23A", sig,
+		[]ioa.State{ioa.KeyState("s0")},
+		[]ioa.Step{
+			{From: ioa.KeyState("s0"), Act: Alpha, To: ioa.KeyState("s0")},
+			{From: ioa.KeyState("s0"), Act: Alpha, To: ioa.KeyState("s1")},
+			{From: ioa.KeyState("s1"), Act: Alpha, To: ioa.KeyState("s0")},
+			{From: ioa.KeyState("s1"), Act: Alpha, To: ioa.KeyState("s1")},
+			{From: ioa.KeyState("s0"), Act: Beta, To: ioa.KeyState("s0")},
+		},
+		[]ioa.Class{{Name: "A", Actions: ioa.NewSet(Beta)}},
+	)
+}
+
+// Fig23B builds automaton B: a single state with both α and β always
+// possible — so β is enabled from every state and fairness forces it.
+func Fig23B() *ioa.Table {
+	sig := ioa.MustSignature([]ioa.Action{Alpha}, []ioa.Action{Beta}, nil)
+	return ioa.MustTable("Fig23B", sig,
+		[]ioa.State{ioa.KeyState("t0")},
+		[]ioa.Step{
+			{From: ioa.KeyState("t0"), Act: Alpha, To: ioa.KeyState("t0")},
+			{From: ioa.KeyState("t0"), Act: Beta, To: ioa.KeyState("t0")},
+		},
+		[]ioa.Class{{Name: "B", Actions: ioa.NewSet(Beta)}},
+	)
+}
+
+// Fig23C builds automaton C: outputs α and β in separate classes; α
+// self-loops everywhere, β moves c0→c1 and is then disabled.
+// Fair behavior: α^k β α^ω (β's class must fire since it stays enabled
+// in c0). Unfair behavior includes α^ω.
+func Fig23C() *ioa.Table {
+	sig := ioa.MustSignature(nil, []ioa.Action{Alpha, Beta}, nil)
+	return ioa.MustTable("Fig23C", sig,
+		[]ioa.State{ioa.KeyState("c0")},
+		[]ioa.Step{
+			{From: ioa.KeyState("c0"), Act: Alpha, To: ioa.KeyState("c0")},
+			{From: ioa.KeyState("c0"), Act: Beta, To: ioa.KeyState("c1")},
+			{From: ioa.KeyState("c1"), Act: Alpha, To: ioa.KeyState("c1")},
+		},
+		[]ioa.Class{
+			{Name: "alpha", Actions: ioa.NewSet(Alpha)},
+			{Name: "beta", Actions: ioa.NewSet(Beta)},
+		},
+	)
+}
+
+// Fig23D builds automaton D of Figure 2.3, bounded at k. The paper's
+// D has fair behavior α^j β α^ω for every j (matching C) while its
+// unfair behavior excludes α^ω; realizing that exactly requires
+// countably infinite nondeterminism (an infinite start set or
+// infinitely-branching α-step — which §2.1.4 permits but an executable
+// transition function cannot enumerate). Fig23D(k) is the natural
+// finite truncation: a descending α-chain d_k → … → d_0 with β exits
+// to a final α-loop. Its fair behaviors are α^j β α^ω for j ≤ k — they
+// agree with C's on every pump bounded by k — and no α-only execution
+// from the start state is unbounded, so α^ω is not an unfair behavior:
+// C and D are fairly equivalent (up to the truncation) yet unfairly
+// inequivalent, the figure's point.
+func Fig23D(k int) *ioa.Table {
+	sig := ioa.MustSignature(nil, []ioa.Action{Alpha, Beta}, nil)
+	d := func(i int) ioa.State { return ioa.KeyState("d" + itoa(i)) }
+	var steps []ioa.Step
+	for i := k; i >= 0; i-- {
+		if i > 0 {
+			steps = append(steps, ioa.Step{From: d(i), Act: Alpha, To: d(i - 1)})
+		}
+		steps = append(steps, ioa.Step{From: d(i), Act: Beta, To: ioa.KeyState("e")})
+	}
+	steps = append(steps, ioa.Step{From: ioa.KeyState("e"), Act: Alpha, To: ioa.KeyState("e")})
+	return ioa.MustTable("Fig23D", sig,
+		[]ioa.State{d(k)},
+		steps,
+		[]ioa.Class{
+			{Name: "alpha", Actions: ioa.NewSet(Alpha)},
+			{Name: "beta", Actions: ioa.NewSet(Beta)},
+		},
+	)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}

@@ -1,0 +1,142 @@
+package ioa
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestActParams(t *testing.T) {
+	tests := []struct {
+		name   string
+		act    Action
+		base   string
+		params []string
+	}{
+		{name: "bare", act: Act("grant"), base: "grant", params: nil},
+		{name: "one", act: Act("grant", "u1"), base: "grant", params: []string{"u1"}},
+		{name: "two", act: Act("request", "a1", "a2"), base: "request", params: []string{"a1", "a2"}},
+		{name: "literal", act: Action("poll(3)"), base: "poll", params: []string{"3"}},
+		{name: "empty-parens", act: Action("x()"), base: "x", params: nil},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.act.Base(); got != tc.base {
+				t.Errorf("Base() = %q, want %q", got, tc.base)
+			}
+			if got := tc.act.Params(); !reflect.DeepEqual(got, tc.params) {
+				t.Errorf("Params() = %v, want %v", got, tc.params)
+			}
+		})
+	}
+}
+
+func TestActRoundTrip(t *testing.T) {
+	a := Act("send", "x", "y")
+	if a != Action("send(x,y)") {
+		t.Fatalf("Act built %q", a)
+	}
+	if Act(a.Base(), a.Params()...) != a {
+		t.Errorf("Base/Params round trip failed for %q", a)
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	s := NewSet("a", "b", "c")
+	u := NewSet("b", "d")
+	if got := s.Union(u); got.Len() != 4 || !got.Has("d") {
+		t.Errorf("Union = %v", got)
+	}
+	if got := s.Intersect(u); got.Len() != 1 || !got.Has("b") {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := s.Minus(u); got.Len() != 2 || got.Has("b") {
+		t.Errorf("Minus = %v", got)
+	}
+	if s.Disjoint(u) {
+		t.Error("Disjoint should be false: share b")
+	}
+	if !s.Disjoint(NewSet("x", "y")) {
+		t.Error("Disjoint should be true")
+	}
+	if got := s.Sorted(); !reflect.DeepEqual(got, []Action{"a", "b", "c"}) {
+		t.Errorf("Sorted = %v", got)
+	}
+}
+
+func TestSetCloneIsIndependent(t *testing.T) {
+	s := NewSet("a")
+	c := s.Clone()
+	c.Add("b")
+	if s.Has("b") {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestSetProject(t *testing.T) {
+	s := NewSet("a", "c")
+	seq := []Action{"a", "b", "c", "a", "d"}
+	want := []Action{"a", "c", "a"}
+	if got := s.Project(seq); !reflect.DeepEqual(got, want) {
+		t.Errorf("Project = %v, want %v", got, want)
+	}
+	if got := s.Project(nil); got != nil {
+		t.Errorf("Project(nil) = %v, want nil", got)
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	if got := TraceString(nil); got != "ε" {
+		t.Errorf("empty trace = %q", got)
+	}
+	if got := TraceString([]Action{"a", "b"}); got != "a b" {
+		t.Errorf("trace = %q", got)
+	}
+}
+
+// Property: union is commutative and associative; Minus then Union
+// with the intersection restores nothing beyond the original.
+func TestSetAlgebraProperties(t *testing.T) {
+	mk := func(xs []uint8) Set {
+		s := make(Set)
+		for _, x := range xs {
+			s.Add(Action(string(rune('a' + x%8))))
+		}
+		return s
+	}
+	commutes := func(xs, ys []uint8) bool {
+		a, b := mk(xs), mk(ys)
+		return a.Union(b).String() == b.Union(a).String()
+	}
+	if err := quick.Check(commutes, nil); err != nil {
+		t.Errorf("union not commutative: %v", err)
+	}
+	assoc := func(xs, ys, zs []uint8) bool {
+		a, b, c := mk(xs), mk(ys), mk(zs)
+		return a.Union(b.Union(c)).String() == a.Union(b).Union(c).String()
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Errorf("union not associative: %v", err)
+	}
+	partition := func(xs, ys []uint8) bool {
+		a, b := mk(xs), mk(ys)
+		// a = (a minus b) ∪ (a ∩ b)
+		return a.Minus(b).Union(a.Intersect(b)).String() == a.String()
+	}
+	if err := quick.Check(partition, nil); err != nil {
+		t.Errorf("minus/intersect do not partition: %v", err)
+	}
+}
+
+func TestSortedIsStableUnderInsertionOrder(t *testing.T) {
+	a := NewSet("c", "a", "b")
+	b := NewSet("b", "c", "a")
+	ga, gb := a.Sorted(), b.Sorted()
+	if !reflect.DeepEqual(ga, gb) {
+		t.Errorf("sorted order differs: %v vs %v", ga, gb)
+	}
+	if !sort.SliceIsSorted(ga, func(i, j int) bool { return ga[i] < ga[j] }) {
+		t.Errorf("not sorted: %v", ga)
+	}
+}

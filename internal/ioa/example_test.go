@@ -1,0 +1,103 @@
+package ioa_test
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+)
+
+// ExampleCompose builds the Figure 2.1 system: two automata that
+// synchronize on each other's outputs, so the composition alternates
+// α and β forever.
+func ExampleCompose() {
+	sigA := ioa.MustSignature([]ioa.Action{"β"}, []ioa.Action{"α"}, nil)
+	a := ioa.MustTable("A", sigA,
+		[]ioa.State{ioa.KeyState("a0")},
+		[]ioa.Step{
+			{From: ioa.KeyState("a0"), Act: "α", To: ioa.KeyState("a1")},
+			{From: ioa.KeyState("a1"), Act: "β", To: ioa.KeyState("a0")},
+		},
+		[]ioa.Class{{Name: "A", Actions: ioa.NewSet("α")}})
+	sigB := ioa.MustSignature([]ioa.Action{"α"}, []ioa.Action{"β"}, nil)
+	b := ioa.MustTable("B", sigB,
+		[]ioa.State{ioa.KeyState("b0")},
+		[]ioa.Step{
+			{From: ioa.KeyState("b0"), Act: "α", To: ioa.KeyState("b1")},
+			{From: ioa.KeyState("b1"), Act: "β", To: ioa.KeyState("b0")},
+		},
+		[]ioa.Class{{Name: "B", Actions: ioa.NewSet("β")}})
+
+	c := ioa.MustCompose("A·B", a, b)
+	x := ioa.NewExecution(c, c.Start()[0])
+	for i := 0; i < 4; i++ {
+		enabled := c.Enabled(x.Last())
+		if err := x.Extend(enabled[0], 0); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	fmt.Println(ioa.TraceString(x.Schedule()))
+	// Output: α β α β
+}
+
+// ExampleHide moves an action out of external view: the behavior of
+// the hidden automaton no longer mentions it.
+func ExampleHide() {
+	sig := ioa.MustSignature(nil, []ioa.Action{"work", "done"}, nil)
+	a := ioa.MustTable("W", sig,
+		[]ioa.State{ioa.KeyState("0")},
+		[]ioa.Step{
+			{From: ioa.KeyState("0"), Act: "work", To: ioa.KeyState("1")},
+			{From: ioa.KeyState("1"), Act: "done", To: ioa.KeyState("2")},
+		},
+		[]ioa.Class{{Name: "w", Actions: ioa.NewSet("work", "done")}})
+	h := ioa.Hide(a, ioa.NewSet("work"))
+
+	x := ioa.NewExecution(h, h.Start()[0])
+	_ = x.Extend("work", 0)
+	_ = x.Extend("done", 0)
+	fmt.Println("schedule:", ioa.TraceString(x.Schedule()))
+	fmt.Println("behavior:", ioa.TraceString(x.Behavior()))
+	// Output:
+	// schedule: work done
+	// behavior: done
+}
+
+// ExampleRename applies an injective action mapping, the operation
+// used to align A₂'s interface with A₁'s (§3.2.4).
+func ExampleRename() {
+	sig := ioa.MustSignature(nil, []ioa.Action{ioa.Act("grant", "u0", "a0")}, nil)
+	a := ioa.MustTable("G", sig,
+		[]ioa.State{ioa.KeyState("0")},
+		[]ioa.Step{{From: ioa.KeyState("0"), Act: ioa.Act("grant", "u0", "a0"), To: ioa.KeyState("1")}},
+		[]ioa.Class{{Name: "g", Actions: ioa.NewSet(ioa.Act("grant", "u0", "a0"))}})
+	f := ioa.MustMapping(map[ioa.Action]ioa.Action{
+		ioa.Act("grant", "u0", "a0"): ioa.Act("return", "u0"),
+	})
+	r := ioa.MustRename(a, f)
+	fmt.Println(r.Sig().Outputs())
+	// Output: {return(u0)}
+}
+
+// ExampleCheckFairWindow demonstrates the fairness discipline: a run
+// that starves an enabled class fails the window check.
+func ExampleCheckFairWindow() {
+	sig := ioa.MustSignature(nil, []ioa.Action{"x", "y"}, nil)
+	a := ioa.MustTable("XY", sig,
+		[]ioa.State{ioa.KeyState("0")},
+		[]ioa.Step{
+			{From: ioa.KeyState("0"), Act: "x", To: ioa.KeyState("0")},
+			{From: ioa.KeyState("0"), Act: "y", To: ioa.KeyState("0")},
+		},
+		[]ioa.Class{
+			{Name: "cx", Actions: ioa.NewSet("x")},
+			{Name: "cy", Actions: ioa.NewSet("y")},
+		})
+	x := ioa.NewExecution(a, a.Start()[0])
+	for i := 0; i < 6; i++ {
+		_ = x.Extend("x", 0) // never schedule y
+	}
+	err := ioa.CheckFairWindow(x, 3)
+	fmt.Println(err != nil)
+	// Output: true
+}

@@ -1,0 +1,125 @@
+package ioa
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestExecutionBasics(t *testing.T) {
+	p := buildCounter(t)
+	x := NewExecution(p, p.Start()[0])
+	if x.Len() != 0 || x.First().Key() != "0" || x.Last().Key() != "0" {
+		t.Fatal("fresh execution wrong")
+	}
+	steps := []Action{"inc", "inc", "emit"}
+	for _, a := range steps {
+		if err := x.Extend(a, 0); err != nil {
+			t.Fatalf("Extend(%v): %v", a, err)
+		}
+	}
+	if x.Last().Key() != "1" {
+		t.Errorf("final state = %v", x.Last().Key())
+	}
+	if !reflect.DeepEqual(x.Schedule(), steps) {
+		t.Errorf("Schedule = %v", x.Schedule())
+	}
+	if err := x.Validate(true); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if err := x.Extend("emit", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Extend("emit", 0); err == nil {
+		t.Error("emit from 0 must fail")
+	}
+}
+
+func TestExecutionBehaviorProjection(t *testing.T) {
+	d := NewDef("beh")
+	d.Start(counter(0))
+	d.Output("pub", "c",
+		func(State) bool { return true },
+		func(s State) State { return s.(counter) + 1 })
+	d.Internal("hid", "c",
+		func(State) bool { return true },
+		func(s State) State { return s.(counter) + 1 })
+	p := d.MustBuild()
+	x := NewExecution(p, p.Start()[0])
+	for _, a := range []Action{"pub", "hid", "pub", "hid"} {
+		if err := x.Extend(a, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := x.Behavior(); !reflect.DeepEqual(got, []Action{"pub", "pub"}) {
+		t.Errorf("Behavior = %v", got)
+	}
+	if got := x.Project(NewSet("hid")); len(got) != 2 {
+		t.Errorf("Project = %v", got)
+	}
+}
+
+func TestExecutionValidateCatchesCorruption(t *testing.T) {
+	p := buildCounter(t)
+	x := NewExecution(p, p.Start()[0])
+	if err := x.Extend("inc", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the final state.
+	x.States[1] = counter(99)
+	if err := x.Validate(true); err == nil {
+		t.Error("Validate must catch a bogus step")
+	}
+	// Wrong start state.
+	y := NewExecution(p, counter(7))
+	if err := y.Validate(true); err == nil {
+		t.Error("Validate(fromStart) must catch a non-start origin")
+	}
+	if err := y.Validate(false); err != nil {
+		t.Errorf("fragment validation should pass: %v", err)
+	}
+}
+
+func TestExecutionPrefixAndClone(t *testing.T) {
+	p := buildCounter(t)
+	x := NewExecution(p, p.Start()[0])
+	for _, a := range []Action{"inc", "inc", "emit"} {
+		if err := x.Extend(a, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre := x.Prefix(2)
+	if pre.Len() != 2 || pre.Last().Key() != "2" {
+		t.Errorf("Prefix wrong: %v", pre)
+	}
+	// Over-long prefix clamps.
+	if x.Prefix(10).Len() != 3 {
+		t.Error("Prefix must clamp to execution length")
+	}
+	c := x.Clone()
+	c.Acts[0] = "emit"
+	if x.Acts[0] != "inc" {
+		t.Error("Clone shares action storage")
+	}
+}
+
+func TestExecutionString(t *testing.T) {
+	p := buildCounter(t)
+	x := NewExecution(p, p.Start()[0])
+	if err := x.Extend("inc", 0); err != nil {
+		t.Fatal(err)
+	}
+	s := x.String()
+	if !strings.Contains(s, "-inc->") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestJoinKeysUnambiguous(t *testing.T) {
+	if JoinKeys("ab", "c") == JoinKeys("a", "bc") {
+		t.Error("JoinKeys ambiguous")
+	}
+	if JoinKeys() != "" {
+		t.Error("JoinKeys() should be empty")
+	}
+}

@@ -1,0 +1,133 @@
+package ioa
+
+import (
+	"fmt"
+)
+
+// Fairness (§2.2). A fair execution gives every class of part(A) a
+// chance to take a step infinitely often:
+//
+//  1. if the execution is finite, no action of any class is enabled
+//     from its final state;
+//  2. if infinite, for each class C either actions of C appear
+//     infinitely often, or states from which no action of C is enabled
+//     appear infinitely often.
+//
+// Finite executions are checked exactly (IsFairFinite). Infinite
+// executions are approximated by long prefixes: FairDebt reports, per
+// class, the length of the longest suffix during which the class was
+// continuously enabled without performing an action — a prefix of an
+// infinite fair execution keeps every class's debt bounded.
+
+// IsFairFinite reports whether the finite execution x is fair: no
+// locally-controlled action is enabled from its final state (§2.2.1,
+// condition 1).
+func IsFairFinite(x *Execution) bool {
+	return len(x.Auto.Enabled(x.Last())) == 0
+}
+
+// FairDebt returns, for each class index, the number of trailing steps
+// of x during which the class has been continuously enabled without
+// any of its actions occurring. A class that is disabled at some
+// recent state, or recently performed an action, has debt counted from
+// that point.
+func FairDebt(x *Execution) []int {
+	parts := x.Auto.Parts()
+	debt := make([]int, len(parts))
+	for ci, c := range parts {
+		d := 0
+		// Walk backward from the final state.
+		for i := x.Len(); i >= 0; i-- {
+			if i < x.Len() && c.Actions.Has(x.Acts[i]) {
+				break // class acted here
+			}
+			if !ClassEnabled(x.Auto, x.States[i], c) {
+				break // class disabled here
+			}
+			d++
+		}
+		// d counted states, not steps; a freshly enabled class at the
+		// final state only has debt 0 steps.
+		if d > 0 {
+			d--
+		}
+		debt[ci] = d
+	}
+	return debt
+}
+
+// CheckFairWindow verifies a weak-fairness discipline on a long finite
+// execution: within every window of `window` consecutive steps, every
+// class either performs an action or is disabled at some state in the
+// window. This is the finite approximation of §2.2.1 condition 2 used
+// to validate scheduler output. It returns an error naming the first
+// violating class and position.
+func CheckFairWindow(x *Execution, window int) error {
+	if window <= 0 {
+		return fmt.Errorf("ioa: non-positive fairness window %d", window)
+	}
+	parts := x.Auto.Parts()
+	// lastOK[ci] = last index i (state position) at which class ci was
+	// either disabled or performed an action at step i.
+	lastOK := make([]int, len(parts))
+	for ci, c := range parts {
+		if !ClassEnabled(x.Auto, x.States[0], c) {
+			lastOK[ci] = 0
+		}
+	}
+	for i := 0; i < x.Len(); i++ {
+		for ci, c := range parts {
+			acted := c.Actions.Has(x.Acts[i])
+			disabled := !ClassEnabled(x.Auto, x.States[i+1], c)
+			if acted || disabled {
+				lastOK[ci] = i + 1
+				continue
+			}
+			if i+1-lastOK[ci] > window {
+				return fmt.Errorf("ioa: class %q continuously enabled without acting for >%d steps (at step %d)",
+					c.Name, window, i+1)
+			}
+		}
+	}
+	return nil
+}
+
+// Lemma18Extend extends a finite execution to a fair execution by
+// cycling over the classes of part(A), performing an enabled action of
+// the current class when one exists (the construction in the proof of
+// Lemma 18). It stops when no locally-controlled action is enabled
+// (the extension is then provably fair) or after maxSteps extra steps.
+// It returns whether the resulting execution is (finite-)fair.
+func Lemma18Extend(x *Execution, maxSteps int) bool {
+	parts := x.Auto.Parts()
+	if len(parts) == 0 {
+		return true
+	}
+	ci := 0
+	for steps := 0; steps < maxSteps; steps++ {
+		enabled := x.Auto.Enabled(x.Last())
+		if len(enabled) == 0 {
+			return true
+		}
+		// Try classes starting from ci; fall back to any enabled action.
+		var chosen Action
+		found := false
+		for k := 0; k < len(parts) && !found; k++ {
+			c := parts[(ci+k)%len(parts)]
+			for _, a := range enabled {
+				if c.Actions.Has(a) {
+					chosen, found = a, true
+					break
+				}
+			}
+		}
+		ci = (ci + 1) % len(parts)
+		if !found {
+			chosen = enabled[0]
+		}
+		if err := x.Extend(chosen, steps); err != nil {
+			return false
+		}
+	}
+	return IsFairFinite(x)
+}

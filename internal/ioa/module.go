@@ -1,0 +1,199 @@
+package ioa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Execution modules and schedule modules (§2.1). The paper's modules
+// are possibly-infinite sets of executions or schedules paired with an
+// action signature. This package represents them extensionally over
+// finite (bounded-length) sets — the form in which the algebraic laws
+// of Corollary 8 are machine-checkable — while liveness-conditioned
+// modules such as E₁, E₂, E₃ of Chapter 3 are represented intensionally
+// in package proof via leads-to conditions.
+
+// A SchedModule is a schedule module: an action signature together
+// with a set of (finite) schedules.
+type SchedModule struct {
+	sig    Signature
+	traces map[string][]Action
+}
+
+// NewSchedModule builds a schedule module from a signature and a set
+// of schedules. Every schedule must use only actions of the signature.
+func NewSchedModule(sig Signature, traces [][]Action) (*SchedModule, error) {
+	m := &SchedModule{sig: sig, traces: make(map[string][]Action, len(traces))}
+	acts := sig.Acts()
+	for _, tr := range traces {
+		for _, a := range tr {
+			if !acts.Has(a) {
+				return nil, fmt.Errorf("ioa: schedule uses action %q outside the module signature", a)
+			}
+		}
+		m.traces[TraceString(tr)] = append([]Action(nil), tr...)
+	}
+	return m, nil
+}
+
+// Sig returns the module's action signature.
+func (m *SchedModule) Sig() Signature { return m.sig }
+
+// Has reports whether the trace is a schedule of the module.
+func (m *SchedModule) Has(tr []Action) bool {
+	_, ok := m.traces[TraceString(tr)]
+	return ok
+}
+
+// Len returns the number of schedules.
+func (m *SchedModule) Len() int { return len(m.traces) }
+
+// Traces returns the schedules sorted by their rendering.
+func (m *SchedModule) Traces() [][]Action {
+	keys := make([]string, 0, len(m.traces))
+	for k := range m.traces {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]Action, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m.traces[k])
+	}
+	return out
+}
+
+// Equal reports whether two schedule modules have the same signature
+// and the same schedule set (the paper's module equality).
+func (m *SchedModule) Equal(o *SchedModule) bool {
+	if !m.sig.Equal(o.sig) || len(m.traces) != len(o.traces) {
+		return false
+	}
+	for k := range m.traces {
+		if _, ok := o.traces[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every schedule of m is a schedule of o.
+func (m *SchedModule) SubsetOf(o *SchedModule) bool {
+	for k := range m.traces {
+		if _, ok := o.traces[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// External returns External(m): the external schedule module obtained
+// by projecting every schedule onto ext(S) and dropping internal
+// actions from the signature (§2.1).
+func (m *SchedModule) External() *SchedModule {
+	ext := m.sig.Ext()
+	out := &SchedModule{sig: m.sig.External(), traces: make(map[string][]Action, len(m.traces))}
+	for _, tr := range m.traces {
+		p := ext.Project(tr)
+		out.traces[TraceString(p)] = p
+	}
+	return out
+}
+
+// HideModule applies Hide_Σ to a schedule module: only the signature
+// changes.
+func (m *SchedModule) HideModule(hide Set) *SchedModule {
+	return &SchedModule{sig: HideSignature(m.sig, hide), traces: m.traces}
+}
+
+// RenameModule applies an injective action mapping to the module.
+func (m *SchedModule) RenameModule(f *Mapping) (*SchedModule, error) {
+	if err := f.applicable(m.sig.Acts()); err != nil {
+		return nil, err
+	}
+	out := &SchedModule{
+		sig: Signature{
+			in:       f.applySet(m.sig.in),
+			out:      f.applySet(m.sig.out),
+			internal: f.applySet(m.sig.internal),
+		},
+		traces: make(map[string][]Action, len(m.traces)),
+	}
+	for _, tr := range m.traces {
+		r := f.ApplySeq(tr)
+		out.traces[TraceString(r)] = r
+	}
+	return out, nil
+}
+
+// ComposeSchedModules forms the composition ∏ᵢSᵢ bounded at maxLen:
+// the schedules y over acts(∏Sᵢ) of length ≤ maxLen with y|Sᵢ a
+// schedule of Sᵢ for every i (§2.1.1). The component trace sets must
+// be prefix-closed for the enumeration to be complete (behavior sets
+// of automata are). The empty schedule must belong to each component.
+func ComposeSchedModules(maxLen int, mods ...*SchedModule) (*SchedModule, error) {
+	sigs := make([]Signature, len(mods))
+	for i, m := range mods {
+		sigs[i] = m.sig
+	}
+	sig, err := ComposeSignatures(sigs...)
+	if err != nil {
+		return nil, err
+	}
+	alphabet := sig.Acts().Sorted()
+	out := &SchedModule{sig: sig, traces: make(map[string][]Action)}
+
+	memberOfAll := func(tr []Action) bool {
+		for _, m := range mods {
+			proj := m.sig.Acts().Project(tr)
+			if !m.Has(proj) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var rec func(tr []Action)
+	rec = func(tr []Action) {
+		out.traces[TraceString(tr)] = append([]Action(nil), tr...)
+		if len(tr) == maxLen {
+			return
+		}
+		for _, a := range alphabet {
+			ext := append(append([]Action(nil), tr...), a)
+			if memberOfAll(ext) {
+				rec(ext)
+			}
+		}
+	}
+	if memberOfAll(nil) {
+		rec(nil)
+	}
+	return out, nil
+}
+
+// An ExecModule is an execution module: states and signature of an
+// automaton together with a set of executions of that automaton.
+type ExecModule struct {
+	// Auto carries the states and action signature of the module.
+	Auto Automaton
+	// Execs is the (finite, bounded) execution set.
+	Execs []*Execution
+}
+
+// Scheds returns Scheds(E): the schedule module with the signature of
+// E and the schedules of its executions.
+func (e *ExecModule) Scheds() *SchedModule {
+	traces := make([][]Action, 0, len(e.Execs))
+	for _, x := range e.Execs {
+		traces = append(traces, x.Schedule())
+	}
+	m, err := NewSchedModule(e.Auto.Sig(), traces)
+	if err != nil {
+		// Executions of Auto use only actions of Auto's signature.
+		panic(fmt.Sprintf("ioa: internal error: %v", err))
+	}
+	return m
+}
+
+// Ubeh returns the unfair behavior Ubeh(E) = External(Scheds(E)).
+func (e *ExecModule) Ubeh() *SchedModule { return e.Scheds().External() }

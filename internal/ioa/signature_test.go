@@ -1,0 +1,154 @@
+package ioa
+
+import (
+	"errors"
+	"testing"
+)
+
+func sigOf(t *testing.T, in, out, internal []Action) Signature {
+	t.Helper()
+	s, err := NewSignature(in, out, internal)
+	if err != nil {
+		t.Fatalf("NewSignature: %v", err)
+	}
+	return s
+}
+
+func TestSignatureDisjointness(t *testing.T) {
+	if _, err := NewSignature([]Action{"a"}, []Action{"a"}, nil); err == nil {
+		t.Error("want error for action in both in and out")
+	}
+	if _, err := NewSignature([]Action{"a"}, nil, []Action{"a"}); err == nil {
+		t.Error("want error for action in both in and int")
+	}
+	if _, err := NewSignature(nil, []Action{"a"}, []Action{"a"}); err == nil {
+		t.Error("want error for action in both out and int")
+	}
+}
+
+func TestSignatureAccessors(t *testing.T) {
+	s := sigOf(t, []Action{"i"}, []Action{"o"}, []Action{"h"})
+	checks := []struct {
+		name string
+		got  bool
+	}{
+		{"IsInput", s.IsInput("i")},
+		{"IsOutput", s.IsOutput("o")},
+		{"IsInternal", s.IsInternal("h")},
+		{"IsExternal(i)", s.IsExternal("i")},
+		{"IsExternal(o)", s.IsExternal("o")},
+		{"IsLocal(o)", s.IsLocal("o")},
+		{"IsLocal(h)", s.IsLocal("h")},
+		{"HasAction", s.HasAction("h")},
+		{"!IsLocal(i)", !s.IsLocal("i")},
+		{"!IsExternal(h)", !s.IsExternal("h")},
+		{"!HasAction(z)", !s.HasAction("z")},
+	}
+	for _, c := range checks {
+		if !c.got {
+			t.Errorf("%s failed", c.name)
+		}
+	}
+	if s.Ext().Len() != 2 || s.Local().Len() != 2 || s.Acts().Len() != 3 {
+		t.Errorf("Ext/Local/Acts sizes wrong: %d %d %d", s.Ext().Len(), s.Local().Len(), s.Acts().Len())
+	}
+}
+
+func TestSignatureExternal(t *testing.T) {
+	s := sigOf(t, []Action{"i"}, []Action{"o"}, []Action{"h"})
+	e := s.External()
+	if e.Internals().Len() != 0 {
+		t.Errorf("External kept internals: %v", e.Internals())
+	}
+	if !e.IsInput("i") || !e.IsOutput("o") {
+		t.Error("External dropped external actions")
+	}
+}
+
+func TestCompatibleSharedOutput(t *testing.T) {
+	a := sigOf(t, nil, []Action{"x"}, nil)
+	b := sigOf(t, nil, []Action{"x"}, nil)
+	err := Compatible(a, b)
+	if !errors.Is(err, ErrIncompatible) {
+		t.Errorf("want ErrIncompatible for shared output, got %v", err)
+	}
+}
+
+func TestCompatibleInternalClash(t *testing.T) {
+	a := sigOf(t, nil, nil, []Action{"x"})
+	b := sigOf(t, []Action{"x"}, nil, nil)
+	if err := Compatible(a, b); !errors.Is(err, ErrIncompatible) {
+		t.Errorf("want ErrIncompatible for internal/action clash, got %v", err)
+	}
+	// Symmetric direction must also be caught.
+	if err := Compatible(b, a); !errors.Is(err, ErrIncompatible) {
+		t.Errorf("want ErrIncompatible (reversed), got %v", err)
+	}
+}
+
+func TestComposeSignatures(t *testing.T) {
+	// A outputs x (input of B), B outputs y (input of A); both hear z.
+	a := sigOf(t, []Action{"y", "z"}, []Action{"x"}, []Action{"ha"})
+	b := sigOf(t, []Action{"x", "z"}, []Action{"y"}, nil)
+	s, err := ComposeSignatures(a, b)
+	if err != nil {
+		t.Fatalf("ComposeSignatures: %v", err)
+	}
+	if !s.IsOutput("x") || !s.IsOutput("y") {
+		t.Error("outputs of components must be outputs of the composition")
+	}
+	if s.IsInput("x") || s.IsInput("y") {
+		t.Error("satisfied inputs must not remain inputs")
+	}
+	if !s.IsInput("z") {
+		t.Error("unmatched input z must remain an input")
+	}
+	if !s.IsInternal("ha") {
+		t.Error("internal actions are preserved")
+	}
+}
+
+func TestComposeSignaturesCommutative(t *testing.T) {
+	a := sigOf(t, []Action{"y"}, []Action{"x"}, nil)
+	b := sigOf(t, []Action{"x"}, []Action{"y"}, nil)
+	ab, err := ComposeSignatures(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := ComposeSignatures(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ab.Equal(ba) {
+		t.Errorf("composition not commutative: %v vs %v", ab, ba)
+	}
+}
+
+func TestHideSignature(t *testing.T) {
+	s := sigOf(t, []Action{"i"}, []Action{"o1", "o2"}, []Action{"h"})
+	hidden := HideSignature(s, NewSet("o1", "zz"))
+	if hidden.IsOutput("o1") {
+		t.Error("o1 still an output after hiding")
+	}
+	if !hidden.IsInternal("o1") {
+		t.Error("o1 must become internal")
+	}
+	if !hidden.IsOutput("o2") || !hidden.IsInput("i") || !hidden.IsInternal("h") {
+		t.Error("hiding disturbed unrelated actions")
+	}
+	if hidden.HasAction("zz") {
+		t.Error("hiding must not add actions")
+	}
+}
+
+func TestSignatureEqual(t *testing.T) {
+	a := sigOf(t, []Action{"i"}, []Action{"o"}, nil)
+	b := sigOf(t, []Action{"i"}, []Action{"o"}, nil)
+	c := sigOf(t, []Action{"i"}, nil, []Action{"o"})
+	if !a.Equal(b) {
+		t.Error("identical signatures must be equal")
+	}
+	if a.Equal(c) {
+		t.Error("signatures differing in classification must differ")
+	}
+}

@@ -1,0 +1,212 @@
+// Package lattice implements proof lattices in the style of Owicki and
+// Lamport, which the paper's introduction singles out (with [MP84]) as
+// the natural way to organize liveness proofs over an
+// automata-theoretic model: an acyclic directed graph with a single
+// entry and a single exit whose nodes are labeled with assertions; a
+// node A with successors A₁…A_n denotes the temporal assertion
+// A ⊃ ◇(A₁ ∨ … ∨ A_n), and a lattice all of whose edge obligations
+// hold amounts to a proof of entry ⊃ ◇exit.
+//
+// Here lattices are checked against (finite prefixes of) executions of
+// input-output automata: every moment at which a node's label holds
+// must be followed by a moment at which some successor's label holds.
+package lattice
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ioa"
+)
+
+// A Label marks the moments of an execution at which a lattice node is
+// "active": either a state predicate, an action predicate, or both
+// (active when either fires).
+type Label struct {
+	// State, if non-nil, activates the node at states satisfying it.
+	State func(ioa.State) bool
+	// Action, if non-nil, activates the node at occurrences of
+	// matching actions.
+	Action func(ioa.Action) bool
+}
+
+// active reports the node's activity at position i of the execution:
+// position i covers state i and (for i > 0) the action of step i-1.
+func (l Label) active(x *ioa.Execution, i int) bool {
+	if l.State != nil && l.State(x.States[i]) {
+		return true
+	}
+	if l.Action != nil && i > 0 && l.Action(x.Acts[i-1]) {
+		return true
+	}
+	return false
+}
+
+// A Lattice is a proof lattice under construction or in use.
+type Lattice struct {
+	names  []string
+	labels map[string]Label
+	succ   map[string][]string
+}
+
+// New creates an empty lattice.
+func New() *Lattice {
+	return &Lattice{labels: make(map[string]Label), succ: make(map[string][]string)}
+}
+
+// Node adds a labeled node.
+func (l *Lattice) Node(name string, label Label) *Lattice {
+	if _, dup := l.labels[name]; !dup {
+		l.names = append(l.names, name)
+	}
+	l.labels[name] = label
+	return l
+}
+
+// Edge records that node from has node to among its successors.
+func (l *Lattice) Edge(from, to string) *Lattice {
+	l.succ[from] = append(l.succ[from], to)
+	return l
+}
+
+// ErrMalformed is returned by Validate for structural defects.
+var ErrMalformed = errors.New("lattice: malformed proof lattice")
+
+// Validate checks the structural requirements: every edge endpoint is
+// a node, the graph is acyclic, and there is exactly one entry node
+// (no incoming edges) and one exit node (no outgoing edges).
+func (l *Lattice) Validate() (entry, exit string, err error) {
+	indeg := make(map[string]int, len(l.names))
+	for _, n := range l.names {
+		indeg[n] = 0
+	}
+	for from, tos := range l.succ {
+		if _, ok := l.labels[from]; !ok {
+			return "", "", fmt.Errorf("%w: edge from unknown node %q", ErrMalformed, from)
+		}
+		for _, to := range tos {
+			if _, ok := l.labels[to]; !ok {
+				return "", "", fmt.Errorf("%w: edge to unknown node %q", ErrMalformed, to)
+			}
+			indeg[to]++
+		}
+	}
+	var entries, exits []string
+	for _, n := range l.names {
+		if indeg[n] == 0 {
+			entries = append(entries, n)
+		}
+		if len(l.succ[n]) == 0 {
+			exits = append(exits, n)
+		}
+	}
+	if len(entries) != 1 {
+		return "", "", fmt.Errorf("%w: %d entry nodes %v", ErrMalformed, len(entries), entries)
+	}
+	if len(exits) != 1 {
+		return "", "", fmt.Errorf("%w: %d exit nodes %v", ErrMalformed, len(exits), exits)
+	}
+	// Kahn's algorithm for acyclicity.
+	queue := append([]string(nil), entries...)
+	deg := make(map[string]int, len(indeg))
+	for k, v := range indeg {
+		deg[k] = v
+	}
+	seen := 0
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, to := range l.succ[n] {
+			deg[to]--
+			if deg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if seen != len(l.names) {
+		return "", "", fmt.Errorf("%w: cycle detected", ErrMalformed)
+	}
+	return entries[0], exits[0], nil
+}
+
+// An Obligation is an unmet edge assertion on a finite execution: node
+// Node was active at position At with no later successor activity.
+type Obligation struct {
+	Node string
+	At   int
+}
+
+// Check evaluates every edge assertion of the lattice on a finite
+// execution and returns the unmet obligations. An obligation at
+// position i is met if some successor of the node is active at any
+// position ≥ i. (Active entry nodes whose whole chain completes
+// witness entry ⊃ ◇exit on this prefix; obligations near the end of
+// the prefix may be pending rather than false — callers decide via the
+// returned positions.)
+func (l *Lattice) Check(x *ioa.Execution) ([]Obligation, error) {
+	if _, _, err := l.Validate(); err != nil {
+		return nil, err
+	}
+	n := x.Len() + 1
+	// lastFrom[name] is precomputed: for each node, the positions at
+	// which it is active; for efficiency compute per node a suffix
+	// "next active at or after i" table.
+	nextActive := make(map[string][]int, len(l.names))
+	for _, name := range l.names {
+		lab := l.labels[name]
+		table := make([]int, n+1)
+		table[n] = -1
+		for i := n - 1; i >= 0; i-- {
+			if lab.active(x, i) {
+				table[i] = i
+			} else {
+				table[i] = table[i+1]
+			}
+		}
+		nextActive[name] = table
+	}
+	var out []Obligation
+	for _, from := range l.names {
+		succs := l.succ[from]
+		if len(succs) == 0 {
+			continue
+		}
+		lab := l.labels[from]
+		for i := 0; i < n; i++ {
+			if !lab.active(x, i) {
+				continue
+			}
+			met := false
+			for _, to := range succs {
+				if nextActive[to][i] >= 0 {
+					met = true
+					break
+				}
+			}
+			if !met {
+				out = append(out, Obligation{Node: from, At: i})
+				break // report the earliest unmet moment per node
+			}
+		}
+	}
+	return out, nil
+}
+
+// Proves reports whether the lattice's entry ⊃ ◇exit conclusion is
+// witnessed on the execution: all edge obligations met, except those
+// born within the final tail positions (which may still be pending on
+// a longer run).
+func (l *Lattice) Proves(x *ioa.Execution, tail int) (bool, []Obligation, error) {
+	obs, err := l.Check(x)
+	if err != nil {
+		return false, nil, err
+	}
+	var hard []Obligation
+	for _, o := range obs {
+		if o.At < x.Len()+1-tail {
+			hard = append(hard, o)
+		}
+	}
+	return len(hard) == 0, hard, nil
+}

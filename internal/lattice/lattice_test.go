@@ -1,0 +1,227 @@
+package lattice
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/arbiter/graphlevel"
+	"repro/internal/arbiter/users"
+	"repro/internal/graph"
+	"repro/internal/ioa"
+	"repro/internal/sim"
+)
+
+func tokenMachine(t *testing.T) *ioa.Prog {
+	t.Helper()
+	d := ioa.NewDef("token")
+	d.Start(ioa.KeyState("idle"))
+	d.Input("want", func(ioa.State) ioa.State { return ioa.KeyState("wanting") })
+	d.Output("prep", "m",
+		func(s ioa.State) bool { return s.Key() == "wanting" },
+		func(ioa.State) ioa.State { return ioa.KeyState("ready") })
+	d.Output("give", "m",
+		func(s ioa.State) bool { return s.Key() == "ready" },
+		func(ioa.State) ioa.State { return ioa.KeyState("idle") })
+	return d.MustBuild()
+}
+
+func stateIs(key string) Label {
+	return Label{State: func(s ioa.State) bool { return s.Key() == key }}
+}
+
+func actionIs(a ioa.Action) Label {
+	return Label{Action: func(act ioa.Action) bool { return act == a }}
+}
+
+func TestValidate(t *testing.T) {
+	l := New().
+		Node("A", stateIs("wanting")).
+		Node("B", stateIs("ready")).
+		Node("C", actionIs("give")).
+		Edge("A", "B").Edge("B", "C")
+	entry, exit, err := l.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry != "A" || exit != "C" {
+		t.Errorf("entry=%s exit=%s", entry, exit)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cyclic := New().
+		Node("A", stateIs("x")).
+		Node("B", stateIs("y")).
+		Edge("A", "B").Edge("B", "A")
+	if _, _, err := cyclic.Validate(); !errors.Is(err, ErrMalformed) {
+		t.Error("cycle must be rejected")
+	}
+	twoEntries := New().
+		Node("A", stateIs("x")).
+		Node("B", stateIs("y")).
+		Node("C", stateIs("z")).
+		Edge("A", "C").Edge("B", "C")
+	if _, _, err := twoEntries.Validate(); !errors.Is(err, ErrMalformed) {
+		t.Error("two entries must be rejected")
+	}
+	danglingEdge := New().
+		Node("A", stateIs("x")).
+		Edge("A", "ghost")
+	if _, _, err := danglingEdge.Validate(); !errors.Is(err, ErrMalformed) {
+		t.Error("edge to unknown node must be rejected")
+	}
+}
+
+func TestCheckTokenMachine(t *testing.T) {
+	a := tokenMachine(t)
+	l := New().
+		Node("wanting", stateIs("wanting")).
+		Node("ready", stateIs("ready")).
+		Node("given", actionIs("give")).
+		Edge("wanting", "ready").Edge("ready", "given")
+
+	// A complete round discharges everything.
+	x := ioa.NewExecution(a, a.Start()[0])
+	for _, act := range []ioa.Action{"want", "prep", "give"} {
+		if err := x.Extend(act, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, hard, err := l.Proves(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("complete round must prove wanting ⊃ ◇given: %v", hard)
+	}
+
+	// A stalled run leaves the obligation open.
+	y := ioa.NewExecution(a, a.Start()[0])
+	if err := y.Extend("want", 0); err != nil {
+		t.Fatal(err)
+	}
+	obs, err := l.Check(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) == 0 {
+		t.Error("stalled run must report an unmet obligation")
+	}
+	// …but within a tolerant tail the conclusion is merely pending.
+	ok, _, err = l.Proves(y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("obligation inside the tail window must count as pending")
+	}
+}
+
+// TestArbiterNoLockoutLattice restates the no-lockout argument of
+// Chapter 3 as a proof lattice over A₂ executions: a user's pending
+// request leads to the arbiter node holding the resource with the
+// request still pending, which leads to the grant. Each edge is
+// checked on fair simulated executions.
+func TestArbiterNoLockoutLattice(t *testing.T) {
+	tr, err := graph.Star(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holder := 0
+	u0 := tr.NodesOf(graph.User)[0]
+	a2, err := graphlevel.New(tr, tr.Neighbors(holder)[0], holder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed, err := ioa.Rename(a2, graphlevel.F1(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"u0", "u1", "u2"}
+	comps := append([]ioa.Automaton{renamed}, users.Automata(users.HeavyLoad(names))...)
+	closed, err := ioa.Compose("closed", comps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := sim.Run(closed, &sim.RoundRobin{}, 400, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := closed.ProjectExecution(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	requestPending := func(s ioa.State) bool {
+		st, ok := s.(*graphlevel.State)
+		return ok && st.HasRequest(u0, holder)
+	}
+	rootWithRequest := func(s ioa.State) bool {
+		st, ok := s.(*graphlevel.State)
+		return ok && st.HasRequest(u0, holder) && st.Root() == holder
+	}
+	granted := ioa.Act("grant", "u0")
+
+	l := New().
+		Node("u0-requesting", Label{State: requestPending}).
+		Node("a0-root-with-request", Label{State: rootWithRequest}).
+		Node("u0-granted", Label{Action: func(a ioa.Action) bool { return a == granted }}).
+		Edge("u0-requesting", "a0-root-with-request").
+		Edge("a0-root-with-request", "u0-granted")
+
+	ok, hard, err := l.Proves(proj, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("no-lockout lattice has unmet obligations: %v", hard)
+	}
+}
+
+// TestBranchingLattice: a diamond-shaped lattice — a node with two
+// successors denotes A ⊃ ◇(A₁ ∨ A₂) and is discharged by EITHER
+// branch.
+func TestBranchingLattice(t *testing.T) {
+	d := ioa.NewDef("branch2")
+	d.Start(ioa.KeyState("s"))
+	d.OutputND("go", "m", func(s ioa.State) []ioa.State {
+		if s.Key() != "s" {
+			return nil
+		}
+		return []ioa.State{ioa.KeyState("left"), ioa.KeyState("right")}
+	})
+	d.Output("fin", "m",
+		func(s ioa.State) bool { return s.Key() == "left" || s.Key() == "right" },
+		func(ioa.State) ioa.State { return ioa.KeyState("done") })
+	a := d.MustBuild()
+
+	l := New().
+		Node("start", stateIs("s")).
+		Node("L", stateIs("left")).
+		Node("R", stateIs("right")).
+		Node("end", stateIs("done")).
+		Edge("start", "L").Edge("start", "R").
+		Edge("L", "end").Edge("R", "end")
+	entry, exit, err := l.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry != "start" || exit != "end" {
+		t.Fatalf("entry=%s exit=%s", entry, exit)
+	}
+	// Take the left branch: the start obligation is met by L alone.
+	x := ioa.NewExecution(a, a.Start()[0])
+	if err := x.Extend("go", 0); err != nil { // pick 0 = left
+		t.Fatal(err)
+	}
+	if err := x.Extend("fin", 0); err != nil {
+		t.Fatal(err)
+	}
+	ok, hard, err := l.Proves(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("left-branch run must discharge the diamond: %v", hard)
+	}
+}

@@ -1,0 +1,123 @@
+package ltl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/ioa"
+	"repro/internal/sim"
+)
+
+// randomExecutions produces varied finite executions of the Figure 2.3
+// C automaton (two output classes; runs differ by seed and length).
+func randomExecutions(t *testing.T, count int) []*ioa.Execution {
+	t.Helper()
+	a := figures.Fig23C()
+	var out []*ioa.Execution
+	for seed := int64(0); seed < int64(count); seed++ {
+		x, err := sim.Run(a, sim.NewRandom(seed), int(3+seed%9), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// randomFormula builds a random LTLf formula over the Fig23 alphabet.
+func randomFormula(rng *rand.Rand, depth int) Formula {
+	if depth == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Act(figures.Alpha)
+		case 1:
+			return Act(figures.Beta)
+		case 2:
+			return State("c0", func(s ioa.State) bool { return s.Key() == "c0" })
+		default:
+			return True
+		}
+	}
+	sub := func() Formula { return randomFormula(rng, depth-1) }
+	switch rng.Intn(7) {
+	case 0:
+		return Not(sub())
+	case 1:
+		return And(sub(), sub())
+	case 2:
+		return Or(sub(), sub())
+	case 3:
+		return Next(sub())
+	case 4:
+		return Eventually(sub())
+	case 5:
+		return Always(sub())
+	default:
+		return Until(sub(), sub())
+	}
+}
+
+// TestLTLDualities checks the classical equivalences on random
+// formulas over random executions:
+//
+//	¬◇φ ≡ □¬φ        ¬□φ ≡ ◇¬φ
+//	◇φ ≡ ⊤ U φ       □φ ≡ ¬(⊤ U ¬φ)
+//	Xφ ≡ ¬X̃¬φ        (strong/weak next duality)
+func TestLTLDualities(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	execs := randomExecutions(t, 6)
+	for trial := 0; trial < 200; trial++ {
+		f := randomFormula(rng, 1+rng.Intn(2))
+		for _, x := range execs {
+			for i := 0; i <= x.Len(); i++ {
+				pairs := []struct {
+					name string
+					l, r Formula
+				}{
+					{name: "¬◇φ ≡ □¬φ", l: Not(Eventually(f)), r: Always(Not(f))},
+					{name: "¬□φ ≡ ◇¬φ", l: Not(Always(f)), r: Eventually(Not(f))},
+					{name: "◇φ ≡ ⊤Uφ", l: Eventually(f), r: Until(True, f)},
+					{name: "□φ ≡ ¬(⊤U¬φ)", l: Always(f), r: Not(Until(True, Not(f)))},
+					{name: "Xφ ≡ ¬X̃¬φ", l: Next(f), r: Not(WeakNext(Not(f)))},
+				}
+				for _, p := range pairs {
+					if p.l.Eval(x, i) != p.r.Eval(x, i) {
+						t.Fatalf("%s fails for φ=%s at position %d of %s",
+							p.name, f, i, ioa.TraceString(x.Acts))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLTLExpansionLaws checks the fixed-point expansions on finite
+// traces:
+//
+//	◇φ ≡ φ ∨ X◇φ
+//	□φ ≡ φ ∧ X̃□φ
+//	φUψ ≡ ψ ∨ (φ ∧ X(φUψ))
+func TestLTLExpansionLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	execs := randomExecutions(t, 5)
+	for trial := 0; trial < 150; trial++ {
+		f := randomFormula(rng, 1)
+		g := randomFormula(rng, 1)
+		for _, x := range execs {
+			for i := 0; i <= x.Len(); i++ {
+				if Eventually(f).Eval(x, i) != Or(f, Next(Eventually(f))).Eval(x, i) {
+					t.Fatalf("◇ expansion fails for %s at %d", f, i)
+				}
+				if Always(f).Eval(x, i) != And(f, WeakNext(Always(f))).Eval(x, i) {
+					t.Fatalf("□ expansion fails for %s at %d", f, i)
+				}
+				lhs := Until(f, g).Eval(x, i)
+				rhs := Or(g, And(f, Next(Until(f, g)))).Eval(x, i)
+				if lhs != rhs {
+					t.Fatalf("U expansion fails for %s U %s at %d", f, g, i)
+				}
+			}
+		}
+	}
+}

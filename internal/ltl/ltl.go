@@ -1,0 +1,221 @@
+// Package ltl evaluates linear temporal logic formulas over finite
+// executions of input-output automata, under finite-trace (LTLf)
+// semantics. The paper's introduction argues that an
+// automata-theoretic model and temporal logic "can work well
+// together" — automata describe the implementation, temporal formulas
+// the properties; this package provides that glue for the executions
+// produced by internal/sim and enumerated by internal/explore.
+//
+// Positions: a formula is evaluated at a position i ∈ [0, len]
+// of an execution, where position i sees state i and the action of
+// step i (the action "about to occur"). The final position has no
+// action. Next is strong (false at the final position); WeakNext is
+// its dual. Eventually/Always/Until take their usual LTLf meanings
+// over the remaining suffix.
+package ltl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ioa"
+)
+
+// A Formula is an LTLf formula evaluated over finite executions.
+type Formula interface {
+	// Eval evaluates the formula at position i of x; i must be in
+	// [0, x.Len()].
+	Eval(x *ioa.Execution, i int) bool
+	fmt.Stringer
+}
+
+// State builds an atomic formula over states.
+func State(name string, pred func(ioa.State) bool) Formula {
+	return stateAtom{name: name, pred: pred}
+}
+
+type stateAtom struct {
+	name string
+	pred func(ioa.State) bool
+}
+
+func (a stateAtom) Eval(x *ioa.Execution, i int) bool { return a.pred(x.States[i]) }
+func (a stateAtom) String() string                    { return a.name }
+
+// Action builds an atomic formula that holds at position i when the
+// action performed from position i (step i) matches. It is false at
+// the final position.
+func Action(name string, pred func(ioa.Action) bool) Formula {
+	return actionAtom{name: name, pred: pred}
+}
+
+// Act matches one concrete action.
+func Act(a ioa.Action) Formula {
+	return actionAtom{name: string(a), pred: func(b ioa.Action) bool { return a == b }}
+}
+
+type actionAtom struct {
+	name string
+	pred func(ioa.Action) bool
+}
+
+func (a actionAtom) Eval(x *ioa.Execution, i int) bool {
+	return i < x.Len() && a.pred(x.Acts[i])
+}
+func (a actionAtom) String() string { return "⟨" + a.name + "⟩" }
+
+// True and False are the boolean constants.
+var (
+	True  Formula = constant{val: true}
+	False Formula = constant{val: false}
+)
+
+type constant struct{ val bool }
+
+func (c constant) Eval(*ioa.Execution, int) bool { return c.val }
+func (c constant) String() string {
+	if c.val {
+		return "⊤"
+	}
+	return "⊥"
+}
+
+// Not negates a formula.
+func Not(f Formula) Formula { return not{f} }
+
+type not struct{ f Formula }
+
+func (n not) Eval(x *ioa.Execution, i int) bool { return !n.f.Eval(x, i) }
+func (n not) String() string                    { return "¬" + n.f.String() }
+
+// And conjoins formulas.
+func And(fs ...Formula) Formula { return nary{op: "∧", all: true, fs: fs} }
+
+// Or disjoins formulas.
+func Or(fs ...Formula) Formula { return nary{op: "∨", all: false, fs: fs} }
+
+type nary struct {
+	op  string
+	all bool
+	fs  []Formula
+}
+
+func (n nary) Eval(x *ioa.Execution, i int) bool {
+	for _, f := range n.fs {
+		if f.Eval(x, i) != n.all {
+			return !n.all
+		}
+	}
+	return n.all
+}
+
+func (n nary) String() string {
+	parts := make([]string, len(n.fs))
+	for i, f := range n.fs {
+		parts[i] = f.String()
+	}
+	return "(" + strings.Join(parts, " "+n.op+" ") + ")"
+}
+
+// Implies is material implication.
+func Implies(p, q Formula) Formula { return implies{p, q} }
+
+type implies struct{ p, q Formula }
+
+func (im implies) Eval(x *ioa.Execution, i int) bool {
+	return !im.p.Eval(x, i) || im.q.Eval(x, i)
+}
+func (im implies) String() string { return "(" + im.p.String() + " ⊃ " + im.q.String() + ")" }
+
+// Next is the strong next operator: X f holds at i if i is not final
+// and f holds at i+1.
+func Next(f Formula) Formula { return next{f: f, weak: false} }
+
+// WeakNext holds at the final position regardless of f.
+func WeakNext(f Formula) Formula { return next{f: f, weak: true} }
+
+type next struct {
+	f    Formula
+	weak bool
+}
+
+func (n next) Eval(x *ioa.Execution, i int) bool {
+	if i >= x.Len() {
+		return n.weak
+	}
+	return n.f.Eval(x, i+1)
+}
+
+func (n next) String() string {
+	if n.weak {
+		return "X̃" + n.f.String()
+	}
+	return "X" + n.f.String()
+}
+
+// Eventually is ◇f: f holds at some position ≥ i.
+func Eventually(f Formula) Formula { return eventually{f} }
+
+type eventually struct{ f Formula }
+
+func (e eventually) Eval(x *ioa.Execution, i int) bool {
+	for j := i; j <= x.Len(); j++ {
+		if e.f.Eval(x, j) {
+			return true
+		}
+	}
+	return false
+}
+func (e eventually) String() string { return "◇" + e.f.String() }
+
+// Always is □f: f holds at every position ≥ i.
+func Always(f Formula) Formula { return always{f} }
+
+type always struct{ f Formula }
+
+func (a always) Eval(x *ioa.Execution, i int) bool {
+	for j := i; j <= x.Len(); j++ {
+		if !a.f.Eval(x, j) {
+			return false
+		}
+	}
+	return true
+}
+func (a always) String() string { return "□" + a.f.String() }
+
+// Until is p U q: q eventually holds, and p holds at every position
+// before that.
+func Until(p, q Formula) Formula { return until{p, q} }
+
+type until struct{ p, q Formula }
+
+func (u until) Eval(x *ioa.Execution, i int) bool {
+	for j := i; j <= x.Len(); j++ {
+		if u.q.Eval(x, j) {
+			return true
+		}
+		if !u.p.Eval(x, j) {
+			return false
+		}
+	}
+	return false
+}
+func (u until) String() string { return "(" + u.p.String() + " U " + u.q.String() + ")" }
+
+// LeadsTo is Lamport's P ⤳ Q, i.e. □(P ⊃ ◇Q) — the shape of every
+// liveness condition of Chapter 3.
+func LeadsTo(p, q Formula) Formula { return always{implies{p, eventually{q}}} }
+
+// Holds evaluates f at the start of the execution.
+func Holds(f Formula, x *ioa.Execution) bool { return f.Eval(x, 0) }
+
+// FirstFailure returns the earliest position at which f is false, or
+// -1 if f holds everywhere — a debugging aid for □-shaped properties.
+func FirstFailure(f Formula, x *ioa.Execution) int {
+	for i := 0; i <= x.Len(); i++ {
+		if !f.Eval(x, i) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,150 @@
+package ltl
+
+import (
+	"testing"
+
+	"repro/internal/arbiter/spec"
+	"repro/internal/arbiter/users"
+	"repro/internal/ioa"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// run builds a scripted execution of the A1 spec automaton.
+func run(t *testing.T, n int, acts ...ioa.Action) (*ioa.Execution, spec.Users) {
+	t.Helper()
+	us := spec.DefaultUsers(n)
+	a := spec.New(us)
+	x := ioa.NewExecution(a, a.Start()[0])
+	for _, act := range acts {
+		if err := x.Extend(act, 0); err != nil {
+			t.Fatalf("extend %v: %v", act, err)
+		}
+	}
+	return x, us
+}
+
+func holderIs(u int) Formula {
+	return State("holder=u", func(s ioa.State) bool { return s.(*spec.State).Holder() == u })
+}
+
+func requesting(u int) Formula {
+	return State("requesting", func(s ioa.State) bool { return s.(*spec.State).Requesting(u) })
+}
+
+func TestAtomsAndBooleans(t *testing.T) {
+	x, us := run(t, 2, spec.Request(us2(0)), spec.Grant(us2(0)))
+	_ = us
+	tests := []struct {
+		name string
+		f    Formula
+		at   int
+		want bool
+	}{
+		{name: "state-initial", f: holderIs(0), at: 0, want: false},
+		{name: "state-after-grant", f: holderIs(0), at: 2, want: true},
+		{name: "action-at", f: Act(spec.Request("u0")), at: 0, want: true},
+		{name: "action-final-position", f: Act(spec.Grant("u0")), at: 2, want: false},
+		{name: "not", f: Not(holderIs(0)), at: 0, want: true},
+		{name: "and", f: And(True, Not(False)), at: 0, want: true},
+		{name: "or", f: Or(False, holderIs(0)), at: 2, want: true},
+		{name: "implies-vacuous", f: Implies(False, False), at: 0, want: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.f.Eval(x, tc.at); got != tc.want {
+				t.Errorf("%s at %d = %t, want %t", tc.f, tc.at, got, tc.want)
+			}
+		})
+	}
+}
+
+// us2 avoids recomputing DefaultUsers in call sites.
+func us2(i int) string { return spec.DefaultUsers(2)[i] }
+
+func TestTemporalOperators(t *testing.T) {
+	x, _ := run(t, 2,
+		spec.Request("u0"), spec.Grant("u0"), spec.Return("u0"),
+		spec.Request("u1"), spec.Grant("u1"))
+
+	if !Holds(Eventually(holderIs(1)), x) {
+		t.Error("◇(holder=u1) must hold")
+	}
+	if Holds(Always(Not(holderIs(0))), x) {
+		t.Error("□¬(holder=u0) must fail")
+	}
+	if !Holds(Until(Not(holderIs(1)), Act(spec.Grant("u1"))), x) {
+		t.Error("(¬holder=u1) U grant(u1) must hold")
+	}
+	if !Holds(Next(Next(holderIs(0))), x) {
+		t.Error("XX(holder=u0) must hold after request then grant")
+	}
+	// Strong vs weak next at the final position.
+	if Next(True).Eval(x, x.Len()) {
+		t.Error("strong next must fail at the final position")
+	}
+	if !WeakNext(False).Eval(x, x.Len()) {
+		t.Error("weak next must hold at the final position")
+	}
+	if got := FirstFailure(Not(holderIs(0)), x); got != 2 {
+		t.Errorf("FirstFailure = %d, want 2", got)
+	}
+}
+
+// TestMutualExclusionFormula states the §3.1 safety condition in LTL —
+// □(at most one holder) — and checks it on a fair ring-arbiter run.
+func TestMutualExclusionFormula(t *testing.T) {
+	us := spec.DefaultUsers(3)
+	sys, err := ring.New(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := users.HeavyLoad(us)
+	closed, err := ioa.Compose("closed", append([]ioa.Automaton{sys.Arbiter}, users.Automata(env)...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := sim.Run(closed, &sim.RoundRobin{}, 400, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := closed.ProjectExecution(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutex := State("≤1 holder", func(s ioa.State) bool { return sys.HolderCount(s) <= 1 })
+	oneToken := State("1 token", func(s ioa.State) bool { return sys.TokenCount(s) == 1 })
+	safety := Always(And(mutex, oneToken))
+	if !Holds(safety, proj) {
+		t.Errorf("safety %s fails at position %d", safety, FirstFailure(And(mutex, oneToken), proj))
+	}
+}
+
+// TestLeadsToFormula states no-lockout as □(requesting ⊃ ◇grant) and
+// checks it on a completed service round (LTLf semantics: on truncated
+// runs the tail obligation correctly falsifies the formula).
+func TestLeadsToFormula(t *testing.T) {
+	full, _ := run(t, 2, spec.Request("u0"), spec.Grant("u0"), spec.Return("u0"))
+	noLockout := LeadsTo(requesting(0), Act(spec.Grant("u0")))
+	if !Holds(noLockout, full) {
+		t.Errorf("%s must hold on the completed round", noLockout)
+	}
+	truncated, _ := run(t, 2, spec.Request("u0"))
+	if Holds(noLockout, truncated) {
+		t.Error("LTLf: an undischarged obligation falsifies leads-to on the finite trace")
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	f := LeadsTo(State("p", nil), Action("g", nil))
+	want := "□(p ⊃ ◇⟨g⟩)"
+	if f.String() != want {
+		t.Errorf("String = %q, want %q", f.String(), want)
+	}
+	if True.String() != "⊤" || False.String() != "⊥" {
+		t.Error("constant strings")
+	}
+	if Until(True, False).String() != "(⊤ U ⊥)" {
+		t.Errorf("until string = %q", Until(True, False).String())
+	}
+}

@@ -1,0 +1,83 @@
+package proof
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+)
+
+// ProductMapping implements Lemma 31: given possibilities mappings
+// hᵢ : Aᵢ → Bᵢ with acts(Aᵢ) ⊇ acts(Bᵢ) for every i, the map
+//
+//	h(a) = { b : b|Bᵢ ∈ hᵢ(a|Aᵢ) for all i }
+//
+// is a possibilities mapping from ∏Aᵢ to ∏Bᵢ. The compositions must
+// have the mappings' automata as their components, in order.
+func ProductMapping(a, b *ioa.Composite, hs []*PossMapping) (*PossMapping, error) {
+	compsA, compsB := a.Components(), b.Components()
+	if len(hs) != len(compsA) || len(hs) != len(compsB) {
+		return nil, fmt.Errorf("proof: product mapping needs one link per component (%d links, %d/%d components)",
+			len(hs), len(compsA), len(compsB))
+	}
+	for i, h := range hs {
+		if h.A != compsA[i] {
+			return nil, fmt.Errorf("proof: link %d A-side is not component %d of %s", i, i, a.Name())
+		}
+		if h.B != compsB[i] {
+			return nil, fmt.Errorf("proof: link %d B-side is not component %d of %s", i, i, b.Name())
+		}
+		// Lemma 31's hypothesis: acts(Aᵢ) ⊇ acts(Bᵢ).
+		for act := range compsB[i].Sig().Acts() {
+			if !compsA[i].Sig().HasAction(act) {
+				return nil, fmt.Errorf("proof: Lemma 31 hypothesis fails: action %q of %s missing from %s",
+					act, compsB[i].Name(), compsA[i].Name())
+			}
+		}
+	}
+	return &PossMapping{
+		A: a,
+		B: b,
+		Map: func(s ioa.State) []ioa.State {
+			ts, ok := s.(*ioa.TupleState)
+			if !ok || ts.Len() != len(hs) {
+				return nil
+			}
+			// Cross product of per-component possibilities.
+			combos := [][]ioa.State{nil}
+			for i, h := range hs {
+				poss := h.Map(ts.At(i))
+				if len(poss) == 0 {
+					return nil
+				}
+				next := make([][]ioa.State, 0, len(combos)*len(poss))
+				for _, prefix := range combos {
+					for _, p := range poss {
+						row := append(append([]ioa.State(nil), prefix...), p)
+						next = append(next, row)
+					}
+				}
+				combos = next
+			}
+			out := make([]ioa.State, 0, len(combos))
+			for _, row := range combos {
+				out = append(out, ioa.NewTupleState(row))
+			}
+			return out
+		},
+	}, nil
+}
+
+// RenameMapping implements the state side of Lemma 27: a possibilities
+// mapping from A to B induces one from f(A) to f(B) with the same
+// state function (renaming changes only action names).
+func RenameMapping(h *PossMapping, f *ioa.Mapping) (*PossMapping, error) {
+	ra, err := ioa.Rename(h.A, f)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := ioa.Rename(h.B, f)
+	if err != nil {
+		return nil, err
+	}
+	return &PossMapping{A: ra, B: rb, Map: h.Map}, nil
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ioa"
+)
+
+// Timed executions (§3.4). The paper assigns times to the states of an
+// execution and calls an execution of A₂ b-bounded when its liveness
+// conditions hold within time b of arising. This package realizes
+// b-bounded executions with a discrete-event scheduler over fairness
+// classes: each class C carries a bound b(C); whenever C is
+// continuously enabled from time t, some action of C occurs by t+b(C).
+// With the partition refined to one class per action, this yields
+// exactly the BndedFwdReq/BndedFwdGr/BndedRtnRes conditions of §3.4.
+
+// A TimedExecution is an execution with a time assigned to each state
+// (Times[0] is the start time, Times[i+1] the time of step i).
+type TimedExecution struct {
+	Exec  *ioa.Execution
+	Times []float64
+}
+
+// Now returns the time of the final state.
+func (t *TimedExecution) Now() float64 { return t.Times[len(t.Times)-1] }
+
+// Bounds assigns the bound b(C) to each class. Classes not present use
+// Default.
+type Bounds struct {
+	Default  float64
+	PerClass map[string]float64
+}
+
+// UniformBounds gives every class the same bound b.
+func UniformBounds(b float64) Bounds { return Bounds{Default: b} }
+
+// Of returns the bound for a class name.
+func (b Bounds) Of(class string) float64 {
+	if v, ok := b.PerClass[class]; ok {
+		return v
+	}
+	return b.Default
+}
+
+// Tempo selects when, within its allowed window, a class fires.
+type Tempo int
+
+// Tempos. Eager fires enabled classes as soon as possible (all
+// deadlines collapse to the enabling instant, time advances in
+// epsilon-free causal order — the fastest consistent execution).
+// Lazy fires every class at the last possible moment (its deadline),
+// producing the slowest b-bounded execution; this is the adversary
+// used to probe the worst-case bounds of Theorems 50 and 52.
+// Jitter fires the earliest-deadline class at a seeded random moment
+// within its remaining window — a "realistic" middle ground that is
+// still b-bounded by construction.
+const (
+	Eager Tempo = iota + 1
+	Lazy
+	Jitter
+)
+
+// A TimedRunner produces b-bounded timed executions of a closed
+// system.
+type TimedRunner struct {
+	// Auto is the automaton to run (typically a composition including
+	// environment automata so no external input remains undelivered).
+	Auto ioa.Automaton
+	// Bounds gives per-class time bounds.
+	Bounds Bounds
+	// Tempo selects eager or lazy firing.
+	Tempo Tempo
+	// Seed drives tie-breaking among classes with equal deadlines and
+	// among enabled actions within a class.
+	Seed int64
+	// Observe, if non-nil, is called after every step with the
+	// execution so far and the time of the step.
+	Observe func(x *ioa.Execution, t float64)
+}
+
+// Run executes up to maxSteps steps, stopping early when stop returns
+// true or no class is enabled. The result is a b-bounded timed
+// execution: every class fires or is disabled within its bound of
+// becoming continuously enabled.
+func (r *TimedRunner) Run(maxSteps int, stop func(*TimedExecution) bool) (*TimedExecution, error) {
+	starts := r.Auto.Start()
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("sim: automaton %s has no start states", r.Auto.Name())
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	parts := r.Auto.Parts()
+	tx := &TimedExecution{
+		Exec:  ioa.NewExecution(r.Auto, starts[0]),
+		Times: []float64{0},
+	}
+	// enabledSince[ci] >= 0 is the time class ci became continuously
+	// enabled; -1 means currently disabled. A single Enabled call per
+	// step feeds every class (important for systems with many
+	// classes).
+	enabledSince := make([]float64, len(parts))
+	refresh := func(s ioa.State, now float64, fired int) {
+		enabled := ioa.NewSet(r.Auto.Enabled(s)...)
+		for ci, c := range parts {
+			on := false
+			for act := range c.Actions {
+				if enabled.Has(act) {
+					on = true
+					break
+				}
+			}
+			if !on {
+				enabledSince[ci] = -1
+				continue
+			}
+			if enabledSince[ci] < 0 || ci == fired {
+				enabledSince[ci] = now
+			}
+		}
+	}
+	for ci := range parts {
+		enabledSince[ci] = -1
+	}
+	refresh(tx.Exec.Last(), 0, -1)
+
+	for step := 0; step < maxSteps; step++ {
+		if stop != nil && stop(tx) {
+			return tx, nil
+		}
+		// Find the class to fire.
+		best, bestDeadline := -1, 0.0
+		var ties []int
+		for ci := range parts {
+			if enabledSince[ci] < 0 {
+				continue
+			}
+			deadline := enabledSince[ci] + r.Bounds.Of(parts[ci].Name)
+			switch {
+			case best < 0 || deadline < bestDeadline:
+				best, bestDeadline = ci, deadline
+				ties = ties[:0]
+				ties = append(ties, ci)
+			case deadline == bestDeadline:
+				ties = append(ties, ci)
+			}
+		}
+		if best < 0 {
+			return tx, nil // no class enabled: finite fair execution
+		}
+		chosen := ties[rng.Intn(len(ties))]
+		var now float64
+		switch r.Tempo {
+		case Lazy:
+			now = bestDeadline
+		case Jitter:
+			// Anywhere in [now, deadline]; never violates any pending
+			// deadline because the chosen one is minimal.
+			now = tx.Now() + rng.Float64()*(bestDeadline-tx.Now())
+		default: // Eager
+			now = tx.Now()
+		}
+		acts := ioa.EnabledIn(r.Auto, tx.Exec.Last(), parts[chosen])
+		act := acts[rng.Intn(len(acts))]
+		if err := tx.Exec.Extend(act, rng.Int()); err != nil {
+			return nil, fmt.Errorf("sim: timed run: %w", err)
+		}
+		tx.Times = append(tx.Times, now)
+		refresh(tx.Exec.Last(), now, chosen)
+		if r.Observe != nil {
+			r.Observe(tx.Exec, now)
+		}
+	}
+	return tx, nil
+}
+
+// CheckBBounded verifies a timed execution against the per-class
+// bounds: whenever a class is continuously enabled across an interval
+// longer than its bound without firing, an error is returned. This is
+// the mechanical check that a run really is b-bounded.
+func CheckBBounded(tx *TimedExecution, bounds Bounds, slack float64) error {
+	a := tx.Exec.Auto
+	parts := a.Parts()
+	since := make([]float64, len(parts))
+	for ci, c := range parts {
+		if ioa.ClassEnabled(a, tx.Exec.States[0], c) {
+			since[ci] = 0
+		} else {
+			since[ci] = -1
+		}
+	}
+	for i := 0; i < tx.Exec.Len(); i++ {
+		now := tx.Times[i+1]
+		for ci, c := range parts {
+			fired := c.Actions.Has(tx.Exec.Acts[i])
+			// A violation occurs whether the class is still waiting or
+			// fired only after its deadline had passed.
+			if since[ci] >= 0 && now-since[ci] > bounds.Of(c.Name)+slack {
+				return fmt.Errorf("sim: class %q enabled since t=%.3f, not fired by t=%.3f (bound %.3f)",
+					c.Name, since[ci], now, bounds.Of(c.Name))
+			}
+			enabledNow := ioa.ClassEnabled(a, tx.Exec.States[i+1], c)
+			switch {
+			case !enabledNow:
+				since[ci] = -1
+			case since[ci] < 0 || fired:
+				since[ci] = now
+			}
+		}
+	}
+	return nil
+}
+
+// ActionTimes collects the times at which actions satisfying the given
+// predicate occur in a timed execution.
+func ActionTimes(tx *TimedExecution, match func(ioa.Action) bool) []float64 {
+	var out []float64
+	for i, a := range tx.Exec.Acts {
+		if match(a) {
+			out = append(out, tx.Times[i+1])
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/proof"
+)
+
+// A TimedLeadsTo is the bounded condition S ↝≤δ T of §3.4: whenever
+// the automaton is in a state of S at time t, an action of T occurs by
+// t+Bound. BndedFwdReq₂, BndedFwdGr₂, and BndedRtnRes₂ are instances.
+type TimedLeadsTo struct {
+	Name  string
+	S     func(ioa.State) bool
+	T     func(ioa.Action) bool
+	Bound float64
+}
+
+// Bounded lifts an untimed leads-to condition to its timed form.
+func Bounded(c *proof.LeadsTo, bound float64) TimedLeadsTo {
+	return TimedLeadsTo{Name: c.Name, S: c.S, T: c.T, Bound: bound}
+}
+
+// BoundedAll lifts a batch of conditions with a uniform bound.
+func BoundedAll(cs []*proof.LeadsTo, bound float64) []TimedLeadsTo {
+	out := make([]TimedLeadsTo, len(cs))
+	for i, c := range cs {
+		out[i] = Bounded(c, bound)
+	}
+	return out
+}
+
+// CheckTimedLeadsTo verifies the conditions on a timed execution:
+// for every state interval whose start time is t and whose state
+// satisfies S, an action of T must occur at some time ≤ t+Bound+slack.
+// Obligations still open within Bound of the execution's end are
+// treated as pending, not violated (the run simply ended too soon).
+func CheckTimedLeadsTo(tx *TimedExecution, conds []TimedLeadsTo, slack float64) error {
+	x := tx.Exec
+	end := tx.Now()
+	for _, c := range conds {
+		// nextT[i] = time of the first T-action at step ≥ i (+Inf if none).
+		nextT := make([]float64, x.Len()+1)
+		const inf = 1e300
+		nextT[x.Len()] = inf
+		for i := x.Len() - 1; i >= 0; i-- {
+			if c.T(x.Acts[i]) {
+				nextT[i] = tx.Times[i+1]
+			} else {
+				nextT[i] = nextT[i+1]
+			}
+		}
+		for i := 0; i <= x.Len(); i++ {
+			if !c.S(x.States[i]) {
+				continue
+			}
+			t0 := tx.Times[i]
+			deadline := t0 + c.Bound + slack
+			if nextT[i] <= deadline {
+				continue
+			}
+			if nextT[i] >= inf && end <= deadline {
+				continue // pending at the tail: not yet a violation
+			}
+			return fmt.Errorf("sim: %s violated: S at t=%.3f, no T by t=%.3f (next T at %.3f, run ends %.3f)",
+				c.Name, t0, deadline, nextT[i], end)
+		}
+	}
+	return nil
+}
+
+// TimedLatency reports, per condition, the worst observed gap between
+// an S-moment and the next T action (pending tail obligations count up
+// to the end of the run). Useful for measuring how tight the bounds
+// run in practice.
+func TimedLatency(tx *TimedExecution, conds []TimedLeadsTo) map[string]float64 {
+	x := tx.Exec
+	end := tx.Now()
+	out := make(map[string]float64, len(conds))
+	for _, c := range conds {
+		worst := 0.0
+		nextT := make([]float64, x.Len()+1)
+		const inf = 1e300
+		nextT[x.Len()] = inf
+		for i := x.Len() - 1; i >= 0; i-- {
+			if c.T(x.Acts[i]) {
+				nextT[i] = tx.Times[i+1]
+			} else {
+				nextT[i] = nextT[i+1]
+			}
+		}
+		for i := 0; i <= x.Len(); i++ {
+			if !c.S(x.States[i]) {
+				continue
+			}
+			gap := nextT[i] - tx.Times[i]
+			if nextT[i] >= inf {
+				gap = end - tx.Times[i]
+			}
+			if gap > worst {
+				worst = gap
+			}
+		}
+		out[c.Name] = worst
+	}
+	return out
+}
