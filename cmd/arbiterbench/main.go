@@ -87,6 +87,28 @@ func main() {
 	}
 	fmt.Println()
 
+	chaosSteps := 4000
+	chaosSeeds := []int64{1, 2, 5}
+	if *quick {
+		chaosSteps = 2000
+		chaosSeeds = chaosSeeds[:1]
+	}
+	tr, err := graph.Figure32()
+	if err != nil {
+		log.Fatalf("figure 3.2: %v", err)
+	}
+	chaos, err := bench.Chaos(bench.ChaosConfig{
+		Tree:     tr,
+		Holder:   0,
+		Profiles: bench.DefaultChaosProfiles(),
+		Seeds:    chaosSeeds,
+		Steps:    chaosSteps,
+	})
+	if err != nil {
+		log.Fatalf("chaos sweep: %v", err)
+	}
+	bench.PrintChaos(os.Stdout, chaos)
+
 	fmt.Println("done")
 }
 

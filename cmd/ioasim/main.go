@@ -5,9 +5,20 @@
 //
 // Usage:
 //
-//	ioasim -system fig21|fig22|fig23c|arbiter1|arbiter2|arbiter3|ring|mutex
+//	ioasim -system fig21|fig22|fig23c|arbiter1|arbiter2|arbiter3|arbiter3r|ring|mutex
 //	       [-steps n] [-policy rr|random] [-seed n] [-users n]
+//	       [-faults drop=0.1,dup=0.05,delay=3] [-fault-seed n]
 //	       [-trace] [-json] [-dot]
+//
+// The -faults flag injects seeded channel faults into the distributed
+// arbiter systems: arbiter3 runs the plain A₃ over the faulty channels
+// (and visibly starves or deadlocks under loss), arbiter3r runs the
+// retry-hardened A₃ʳ whose alternating-bit links mask loss and
+// duplication. Fault decisions are a pure function of (-fault-seed,
+// channel, message sequence number), so runs are reproducible. The
+// fault classes are drop (loss rate), dup (duplication rate), and
+// delay (reordering bound; tolerated by neither variant — the
+// alternating-bit links assume FIFO channels).
 package main
 
 import (
@@ -23,6 +34,7 @@ import (
 	"repro/internal/arbiter/spec"
 	"repro/internal/arbiter/users"
 	"repro/internal/explore"
+	"repro/internal/faults"
 	"repro/internal/figures"
 	"repro/internal/graph"
 	"repro/internal/ioa"
@@ -43,10 +55,16 @@ func main() {
 		trace   = flag.Bool("trace", false, "print the full step trace")
 		jsonOut = flag.Bool("json", false, "emit the trace as JSON events on stdout")
 		dotOut  = flag.Bool("dot", false, "emit the reachable state graph in Graphviz DOT format and exit")
+		faultsF = flag.String("faults", "none", "channel fault profile, e.g. drop=0.1,dup=0.05,delay=3 (arbiter3/arbiter3r)")
+		faultSd = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 	)
 	flag.Parse()
 
-	auto, err := buildSystem(*system, *nUsers)
+	prof, err := faults.ParseProfile(*faultsF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	auto, err := buildSystem(*system, *nUsers, prof, *faultSd)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,7 +116,15 @@ func writeJSON(w io.Writer, x *ioa.Execution) error {
 	return enc.Encode(events)
 }
 
-func buildSystem(name string, nUsers int) (ioa.Automaton, error) {
+func buildSystem(name string, nUsers int, prof faults.Profile, faultSeed int64) (ioa.Automaton, error) {
+	switch name {
+	case "arbiter3", "arbiter3r":
+		// Handled below; every other system rejects fault injection.
+	default:
+		if !prof.Zero() {
+			return nil, fmt.Errorf("-faults applies to arbiter3 and arbiter3r only, not %q", name)
+		}
+	}
 	switch name {
 	case "fig21":
 		return figures.Fig21(), nil
@@ -141,7 +167,7 @@ func buildSystem(name string, nUsers int) (ioa.Automaton, error) {
 			comps = append(comps, d.MustBuild())
 		}
 		return ioa.Compose("mutex-closed", comps...)
-	case "arbiter2", "arbiter3":
+	case "arbiter2", "arbiter3", "arbiter3r":
 		tr, err := graph.BinaryTree(nUsers)
 		if err != nil {
 			return nil, err
@@ -159,23 +185,44 @@ func buildSystem(name string, nUsers int) (ioa.Automaton, error) {
 				return nil, err
 			}
 		} else {
-			sys, err := dist.New(tr, tr.NodesOf(graph.Arbiter)[0])
+			sched, err := faults.NewSchedule(faultSeed, prof)
 			if err != nil {
 				return nil, err
 			}
+			inj := faults.Injection{Sched: sched}
+			holder := tr.NodesOf(graph.Arbiter)[0]
 			aug, err := graph.Augment(tr)
 			if err != nil {
 				return nil, err
 			}
-			f2, err := sys.F2(aug)
+			var base ioa.Automaton
+			var f2 *ioa.Mapping
+			if name == "arbiter3r" {
+				sys, err := dist.NewHardened(tr, holder, inj)
+				if err != nil {
+					return nil, err
+				}
+				base = sys.A3R
+				f2, err = sys.F2(aug)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				sys, err := dist.NewWithFaults(tr, holder, inj)
+				if err != nil {
+					return nil, err
+				}
+				base = sys.A3
+				f2, err = sys.F2(aug)
+				if err != nil {
+					return nil, err
+				}
+			}
+			a3x, err := ioa.Rename(base, f2)
 			if err != nil {
 				return nil, err
 			}
-			a3r, err := ioa.Rename(sys.A3, f2)
-			if err != nil {
-				return nil, err
-			}
-			arb, err = ioa.Rename(a3r, graphlevel.F1(aug))
+			arb, err = ioa.Rename(a3x, graphlevel.F1(aug))
 			if err != nil {
 				return nil, err
 			}
@@ -183,7 +230,7 @@ func buildSystem(name string, nUsers int) (ioa.Automaton, error) {
 		comps := append([]ioa.Automaton{arb}, users.Automata(users.HeavyLoad(names))...)
 		return ioa.Compose(name, comps...)
 	default:
-		return nil, fmt.Errorf("unknown system %q (try fig21, fig22, fig23c, arbiter1, arbiter2, arbiter3, ring, mutex)", name)
+		return nil, fmt.Errorf("unknown system %q (try fig21, fig22, fig23c, arbiter1, arbiter2, arbiter3, arbiter3r, ring, mutex)", name)
 	}
 }
 

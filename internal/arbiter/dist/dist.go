@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/ioa"
 	"repro/internal/proof"
@@ -326,46 +327,52 @@ func NewUnorderedMessageSystem(t *graph.Tree) (*ioa.Prog, error) {
 	return newMessageSystem(t, false)
 }
 
-// NewLossyMessageSystem builds a faulty message system that may also
-// silently DROP the head of any channel (an internal action per
-// channel). It violates the delivery conditions DelReq/DelGr of E_M —
-// used in failure-injection tests to show that C_M is load-bearing for
-// no-lockout: with a lossy channel the resource or a request can
-// vanish and users starve even under fair scheduling.
-func NewLossyMessageSystem(t *graph.Tree) (*ioa.Prog, error) {
-	d := ioa.NewDef("M-lossy")
-	d.Start(NewMsgState(nil))
+// Links enumerates the directed arbiter-to-arbiter channels of t as
+// faults.Link descriptors, each carrying the request and grant
+// message kinds with the send/receive action names of Figure 3.6.
+// This is the bridge from the arbiter's topology to the generic
+// fault-injected network builder.
+func Links(t *graph.Tree) []faults.Link {
+	var links []faults.Link
 	for _, a := range t.NodesOf(graph.Arbiter) {
 		for _, v := range t.Neighbors(a) {
 			if t.Node(v).Kind != graph.Arbiter {
 				continue
 			}
 			from, to := t.Node(a).Name, t.Node(v).Name
-			class := "ch(" + from + "," + to + ")"
-			for _, kind := range []string{KindRequest, KindGrant} {
-				kind := kind
-				var send, recv ioa.Action
-				if kind == KindRequest {
-					send, recv = SendRequest(from, to), ReceiveRequest(from, to)
-				} else {
-					send, recv = SendGrant(from, to), ReceiveGrant(from, to)
-				}
-				d.Input(send, func(st ioa.State) ioa.State {
-					return st.(*MsgState).push(from, to, kind)
-				})
-				d.Output(recv, class,
-					func(st ioa.State) bool { return st.(*MsgState).HeadIs(from, to, kind) },
-					func(st ioa.State) ioa.State { return st.(*MsgState).pop(from, to) })
-			}
-			d.Internal(ioa.Act("drop", from, to), class,
-				func(st ioa.State) bool {
-					ms := st.(*MsgState)
-					return ms.HeadIs(from, to, KindRequest) || ms.HeadIs(from, to, KindGrant)
-				},
-				func(st ioa.State) ioa.State { return st.(*MsgState).pop(from, to) })
+			links = append(links, faults.Link{From: from, To: to, Msgs: []faults.Msg{
+				{Kind: KindRequest, Send: SendRequest(from, to), Recv: ReceiveRequest(from, to)},
+				{Kind: KindGrant, Send: SendGrant(from, to), Recv: ReceiveGrant(from, to)},
+			}})
 		}
 	}
-	return d.Build()
+	return links
+}
+
+// NewFaultyMessageSystem builds the message system M for tree t with
+// the given fault injection (see faults.Injection). With the zero
+// injection it behaves like NewMessageSystem except that its state is
+// a *faults.NetState rather than a *MsgState; both satisfy Transit.
+func NewFaultyMessageSystem(t *graph.Tree, inj faults.Injection) (*ioa.Prog, error) {
+	name := "M-faulty"
+	if inj.Sched != nil {
+		name = fmt.Sprintf("M-faulty[%s seed=%d]", inj.Sched.Profile, inj.Sched.Seed)
+	}
+	return faults.NewNetwork(name, Links(t), inj)
+}
+
+// NewLossyMessageSystem builds a faulty message system that may also
+// silently DROP the head of any channel (an internal action per
+// channel). It violates the delivery conditions DelReq/DelGr of E_M —
+// used in failure-injection tests to show that C_M is load-bearing for
+// no-lockout: with a lossy channel the resource or a request can
+// vanish and users starve even under fair scheduling.
+//
+// It is a thin wrapper over the faults package: an adversary Drop
+// injection on every channel.
+func NewLossyMessageSystem(t *graph.Tree) (*ioa.Prog, error) {
+	return faults.NewNetwork("M-lossy", Links(t),
+		faults.Injection{Adversary: []faults.Class{faults.Drop}})
 }
 
 func newMessageSystem(t *graph.Tree, fifo bool) (*ioa.Prog, error) {
@@ -430,17 +437,37 @@ type System struct {
 // New assembles the distributed arbiter over tree t with the given
 // initial holder process (FIFO channels; see MsgState).
 func New(t *graph.Tree, initialHolder int) (*System, error) {
-	return newSystem(t, initialHolder, true)
+	m, err := newMessageSystem(t, true)
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(t, initialHolder, m)
 }
 
 // NewUnordered assembles the arbiter with the literal Figure 3.6
 // unordered message system; used in tests demonstrating the
 // same-channel delivery race.
 func NewUnordered(t *graph.Tree, initialHolder int) (*System, error) {
-	return newSystem(t, initialHolder, false)
+	m, err := newMessageSystem(t, false)
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(t, initialHolder, m)
 }
 
-func newSystem(t *graph.Tree, initialHolder int, fifo bool) (*System, error) {
+// NewWithFaults assembles the arbiter over a fault-injected message
+// system (see faults.Injection): the unhardened A₃ running on faulty
+// channels. Used by the chaos harness to show which correctness
+// properties the reliable-channel proof actually depends on.
+func NewWithFaults(t *graph.Tree, initialHolder int, inj faults.Injection) (*System, error) {
+	m, err := NewFaultyMessageSystem(t, inj)
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(t, initialHolder, m)
+}
+
+func newSystem(t *graph.Tree, initialHolder int, m *ioa.Prog) (*System, error) {
 	sys := &System{Tree: t, Procs: make(map[int]*ioa.Prog)}
 	var comps []ioa.Automaton
 	for _, a := range t.NodesOf(graph.Arbiter) {
@@ -451,10 +478,6 @@ func newSystem(t *graph.Tree, initialHolder int, fifo bool) (*System, error) {
 		sys.Procs[a] = p
 		sys.Order = append(sys.Order, a)
 		comps = append(comps, p)
-	}
-	m, err := newMessageSystem(t, fifo)
-	if err != nil {
-		return nil, err
 	}
 	sys.Msg = m
 	comps = append(comps, m)
@@ -490,13 +513,34 @@ func (s *System) ProcStateOf(st ioa.State, a int) (*ProcState, error) {
 	return nil, fmt.Errorf("dist: node %d is not a process", a)
 }
 
+// Transit is the read interface over a message system's state: which
+// messages are in flight. Both the paper's M (*MsgState) and the
+// fault-injected networks of the faults package (*faults.NetState)
+// satisfy it, so refinement mappings and leads-to conditions work
+// over either.
+type Transit interface {
+	ioa.State
+	// Has reports whether a (from,to,kind) message is in flight.
+	Has(from, to, kind string) bool
+	// HeadIs reports whether the channel's next deliverable message
+	// has the given kind.
+	HeadIs(from, to, kind string) bool
+	// Len counts all in-flight messages.
+	Len() int
+}
+
+var (
+	_ Transit = (*MsgState)(nil)
+	_ Transit = (*faults.NetState)(nil)
+)
+
 // MsgStateOf extracts the message-system state from a composite state.
-func (s *System) MsgStateOf(st ioa.State) (*MsgState, error) {
+func (s *System) MsgStateOf(st ioa.State) (Transit, error) {
 	ts, ok := st.(*ioa.TupleState)
 	if !ok {
 		return nil, fmt.Errorf("dist: not a composite state")
 	}
-	ms, ok := ts.At(ts.Len() - 1).(*MsgState)
+	ms, ok := ts.At(ts.Len() - 1).(Transit)
 	if !ok {
 		return nil, fmt.Errorf("dist: last component is not the message state")
 	}
@@ -632,12 +676,20 @@ func indexOf(xs []int, x int) int {
 //	sendrequest(a,a')    ↦ request(a,b(a,a'))
 //	sendgrant(a,a')      ↦ grant(a,b(a,a'))
 func (s *System) F2(aug *graph.Tree) (*ioa.Mapping, error) {
+	return f2Mapping(s.Tree, aug, s.Order)
+}
+
+// f2Mapping builds the f₂ rename pairs for any system over tree t
+// whose external interface uses the send/receive action names of
+// §3.3 — both the plain A₃ and the retry-hardened A₃ʳ (whose extra
+// xmit/dlvr actions are left unmapped, i.e. renamed to themselves).
+func f2Mapping(t *graph.Tree, aug *graph.Tree, order []int) (*ioa.Mapping, error) {
 	pairs := make(map[ioa.Action]ioa.Action)
 	name := func(id int) string { return aug.Node(id).Name }
-	for _, a := range s.Order {
-		for _, v := range s.Tree.Neighbors(a) {
-			vName, aName := s.Tree.Node(v).Name, s.Tree.Node(a).Name
-			if s.Tree.Node(v).Kind == graph.User {
+	for _, a := range order {
+		for _, v := range t.Neighbors(a) {
+			vName, aName := t.Node(v).Name, t.Node(a).Name
+			if t.Node(v).Kind == graph.User {
 				pairs[ReceiveRequest(vName, aName)] = ioa.Act("request", vName, aName)
 				pairs[ReceiveGrant(vName, aName)] = ioa.Act("grant", vName, aName)
 				pairs[SendRequest(aName, vName)] = ioa.Act("request", aName, vName)

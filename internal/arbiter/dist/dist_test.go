@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/explore"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/ioa"
 	"repro/internal/proof"
@@ -383,7 +384,7 @@ func TestLossyChannelBreaksDelivery(t *testing.T) {
 	if !ok {
 		t.Fatal("drop must be enabled with a message in transit")
 	}
-	ms := dropped.(*MsgState)
+	ms := dropped.(*faults.NetState)
 	if ms.Len() != 0 {
 		t.Fatalf("message not dropped: %v", ms.Key())
 	}
@@ -401,7 +402,7 @@ func TestLossyChannelBreaksDelivery(t *testing.T) {
 	cond := &proof.LeadsTo{
 		Name: "DelGr(a1,a2)",
 		S: func(st ioa.State) bool {
-			m, ok := st.(*MsgState)
+			m, ok := st.(Transit)
 			return ok && m.Has("a1", "a2", KindGrant)
 		},
 		T: func(a ioa.Action) bool { return a == ReceiveGrant("a1", "a2") },

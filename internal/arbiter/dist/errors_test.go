@@ -5,6 +5,8 @@ import (
 	"testing/quick"
 
 	"repro/internal/graph"
+
+	"repro/internal/testseed"
 )
 
 func TestConstructorErrors(t *testing.T) {
@@ -90,7 +92,7 @@ func TestMsgStateQueueProperties(t *testing.T) {
 		rebuilt := NewMsgState(map[string][]string{"a>b": model})
 		return rebuilt.Key() == s.Key()
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(f, testseed.Quick(t, 200)); err != nil {
 		t.Error(err)
 	}
 }

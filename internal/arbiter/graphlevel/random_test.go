@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ioa"
 	"repro/internal/sim"
+	"repro/internal/testseed"
 )
 
 // TestRandomTreesInvariantsUnderFairRuns drives randomly shaped
@@ -16,8 +17,9 @@ import (
 // service at the end — the §3.2 generality claim, probed beyond the
 // topologies with tractable full state spaces.
 func TestRandomTreesInvariantsUnderFairRuns(t *testing.T) {
-	for seed := int64(1); seed <= 10; seed++ {
-		seed := seed
+	base := testseed.Base(t)
+	for i := int64(1); i <= 10; i++ {
+		seed := base + i
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			nArb := 1 + int(seed%4)
 			nUsers := 2 + int(seed%3)

@@ -80,26 +80,40 @@ func NewH2Map(sys *dist.System, aug *graph.Tree) *H2Map {
 // Apply maps a composite state of A₃ to the corresponding state of A₂
 // over 𝒢. It returns an error if the composite state is malformed.
 func (h *H2Map) Apply(st ioa.State) (*graphlevel.State, error) {
+	msgs, err := h.Sys.MsgStateOf(st)
+	if err != nil {
+		return nil, err
+	}
 	g := h.Sys.Tree
-	arrows := make([]uint8, h.Aug.DirectedEdges())
+	return deriveArrows(g, h.Aug, h.Sys.Order,
+		func(a int) (*dist.ProcState, error) { return h.Sys.ProcStateOf(st, a) },
+		func(a, v int) (bool, error) {
+			return msgs.Has(g.Node(a).Name, g.Node(v).Name, dist.KindGrant), nil
+		})
+}
+
+// deriveArrows rebuilds the A₂ arrow sets over 𝒢 from per-process
+// states plus a grant-in-transit oracle for arbiter channels — the
+// common core of h₂ (which reads the message system M) and h₂ʳ
+// (which reads the link automata of the retry-hardened system).
+func deriveArrows(g, aug *graph.Tree, order []int,
+	procOf func(a int) (*dist.ProcState, error),
+	grantInTransit func(a, v int) (bool, error)) (*graphlevel.State, error) {
+	arrows := make([]uint8, aug.DirectedEdges())
 	const (
 		bitRequest uint8 = 1
 		bitGrant   uint8 = 2
 	)
 	set := func(v, w int, bit uint8) error {
-		id, ok := h.Aug.EdgeID(v, w)
+		id, ok := aug.EdgeID(v, w)
 		if !ok {
-			return fmt.Errorf("mapping: no edge (%s,%s) in 𝒢", h.Aug.Node(v).Name, h.Aug.Node(w).Name)
+			return fmt.Errorf("mapping: no edge (%s,%s) in 𝒢", aug.Node(v).Name, aug.Node(w).Name)
 		}
 		arrows[id] |= bit
 		return nil
 	}
-	msgs, err := h.Sys.MsgStateOf(st)
-	if err != nil {
-		return nil, err
-	}
-	for _, a := range h.Sys.Order {
-		ps, err := h.Sys.ProcStateOf(st, a)
+	for _, a := range order {
+		ps, err := procOf(a)
 		if err != nil {
 			return nil, err
 		}
@@ -110,7 +124,7 @@ func (h *H2Map) Apply(st ioa.State) (*graphlevel.State, error) {
 			// user itself, or the buffer b(a,v).
 			other := v
 			if !isUser {
-				other, err = bufferBetween(h.Aug, a, v)
+				other, err = bufferBetween(aug, a, v)
 				if err != nil {
 					return nil, err
 				}
@@ -140,15 +154,22 @@ func (h *H2Map) Apply(st ioa.State) (*graphlevel.State, error) {
 						return nil, err
 					}
 				}
-			} else if msgs.Has(g.Node(a).Name, g.Node(v).Name, dist.KindGrant) {
-				// A4: grant ∈ arrows(a, b(a,a')) iff (a,a',grant) ∈ messages.
-				if err := set(a, other, bitGrant); err != nil {
+			} else {
+				// A4: grant ∈ arrows(a, b(a,a')) iff a grant is in
+				// transit on the channel (a,a').
+				transit, err := grantInTransit(a, v)
+				if err != nil {
 					return nil, err
+				}
+				if transit {
+					if err := set(a, other, bitGrant); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
 	}
-	return graphlevel.NewState(h.Aug, arrows), nil
+	return graphlevel.NewState(aug, arrows), nil
 }
 
 // H2 builds the possibilities mapping h₂ from a3r = f₂(A₃) to a2 = A₂

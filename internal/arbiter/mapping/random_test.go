@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/testseed"
 )
 
 // TestRandomTreesRefinementChain verifies h₂ and h₁ exhaustively on
@@ -14,8 +15,9 @@ func TestRandomTreesRefinementChain(t *testing.T) {
 	if testing.Short() {
 		t.Skip("state-space verification is slow")
 	}
-	for seed := int64(1); seed <= 6; seed++ {
-		seed := seed
+	base := testseed.Base(t)
+	for i := int64(1); i <= 6; i++ {
+		seed := base + i
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			nArb := 1 + int(seed%3)
 			nUsers := 1 + int(seed%2)

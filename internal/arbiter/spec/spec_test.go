@@ -8,6 +8,8 @@ import (
 	"repro/internal/ioa"
 	"repro/internal/proof"
 	"repro/internal/sim"
+
+	"repro/internal/testseed"
 )
 
 func newA1(t *testing.T, n int) (*ioa.Prog, Users) {
@@ -340,7 +342,7 @@ func TestA1RandomDrives(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(f, testseed.Quick(t, 300)); err != nil {
 		t.Error(err)
 	}
 }

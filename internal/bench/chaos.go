@@ -1,0 +1,395 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/arbiter/dist"
+	"repro/internal/arbiter/graphlevel"
+	"repro/internal/arbiter/mapping"
+	"repro/internal/arbiter/spec"
+	"repro/internal/arbiter/users"
+	"repro/internal/faults"
+	"repro/internal/graph"
+	"repro/internal/ioa"
+	"repro/internal/proof"
+	"repro/internal/sim"
+)
+
+// A ChaosRow is one cell of a chaos sweep: one arbiter variant (plain
+// A₃ or retry-hardened A₃ʳ) run under one seeded fault schedule, with
+// every property of the correctness hierarchy re-checked along the
+// sampled fair execution.
+type ChaosRow struct {
+	Profile  faults.Profile
+	Seed     int64
+	Hardened bool // A₃ʳ when true, plain A₃ when false
+	// Steps is the length of the closed-system run.
+	Steps int
+	// Grants counts grant(u) actions per user.
+	Grants []int
+	// Starved reports an observed no-lockout violation: some user's
+	// final request stayed unanswered for the entire tail of the run.
+	Starved bool
+	// MutualExclusion reports that at most one process/user held the
+	// resource in every reached state (token uniqueness).
+	MutualExclusion bool
+	// Lemma35, Lemma36, and Lemma41 report whether the graph-level
+	// invariants (single grant arrow; requests point to the root;
+	// buffer coherence) held in the h₂-image of every reached state.
+	Lemma35, Lemma36, Lemma41 bool
+	// RefinesA2 reports that the possibilities mapping (h₂ for the
+	// plain system, h₂ʳ for the hardened one) held along the sampled
+	// execution; RefinesA1 that the corresponding A₂ execution lifted
+	// through h₁ to the specification as well.
+	RefinesA2, RefinesA1 bool
+	// MaxPending is the worst number of steps any spec-level request
+	// obligation stayed open (the untimed §3.4 latency analogue);
+	// -1 when the run does not lift to the specification.
+	MaxPending int
+}
+
+// ChaosConfig parameterizes a chaos sweep.
+type ChaosConfig struct {
+	Tree *graph.Tree
+	// Holder is the initially-holding arbiter node.
+	Holder int
+	// Profiles are the fault profiles to sweep (include the zero
+	// profile for a fault-free baseline).
+	Profiles []faults.Profile
+	// Seeds drive the deterministic fault schedules.
+	Seeds []int64
+	// Steps bounds each closed-system run.
+	Steps int
+	// StarveGrants is how many grants to other users an unanswered
+	// request must see before it counts as starvation (0 picks a
+	// default of ten full rotations — an order of magnitude past the
+	// worst queueing delay observed on conforming runs, and two
+	// orders below what genuine lockout produces).
+	StarveGrants int
+}
+
+// DefaultChaosProfiles is the standard sweep: fault-free baseline,
+// loss alone, duplication alone, and the combined lossy+duplicating
+// channel of the acceptance scenario.
+func DefaultChaosProfiles() []faults.Profile {
+	return []faults.Profile{
+		{},
+		{Drop: 0.1},
+		{Drop: 0.3},
+		{Duplicate: 0.15},
+		{Drop: 0.3, Duplicate: 0.15},
+	}
+}
+
+// Chaos sweeps profiles × seeds × {A₃, A₃ʳ} and reports, per cell,
+// which properties of the hierarchical proof survive: the empirical
+// ones (grants, starvation, mutual exclusion), the graph-level
+// invariants of Lemmas 35/36/41 evaluated in the h₂-image of every
+// reached state, and the refinement checks h₂/h₂ʳ and h₁ along the
+// sampled fair execution.
+func Chaos(cfg ChaosConfig) ([]ChaosRow, error) {
+	var rows []ChaosRow
+	for _, prof := range cfg.Profiles {
+		for _, seed := range cfg.Seeds {
+			for _, hardened := range []bool{false, true} {
+				row, err := chaosCell(cfg, prof, seed, hardened)
+				if err != nil {
+					return nil, fmt.Errorf("bench: chaos %s seed=%d hardened=%t: %w",
+						prof, seed, hardened, err)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// chaosSys abstracts over the plain and hardened systems: the hidden
+// automaton, the f₂ renaming, the h₂-style state function into A₂
+// over 𝒢, and access to per-process states.
+type chaosSys struct {
+	base      ioa.Automaton
+	f2        *ioa.Mapping
+	order     []int
+	procOf    func(ioa.State, int) (*dist.ProcState, error)
+	applyH2   func(ioa.State) (*graphlevel.State, error)
+	startEdge func() (int, int, error)
+}
+
+func buildChaosSys(t *graph.Tree, aug *graph.Tree, holder int, inj faults.Injection, hardened bool) (*chaosSys, error) {
+	if hardened {
+		sys, err := dist.NewHardened(t, holder, inj)
+		if err != nil {
+			return nil, err
+		}
+		f2, err := sys.F2(aug)
+		if err != nil {
+			return nil, err
+		}
+		m := mapping.NewH2RMap(sys, aug)
+		return &chaosSys{
+			base: sys.A3R, f2: f2, order: sys.Order,
+			procOf:    sys.ProcStateOf,
+			applyH2:   m.Apply,
+			startEdge: m.StartEdge,
+		}, nil
+	}
+	sys, err := dist.NewWithFaults(t, holder, inj)
+	if err != nil {
+		return nil, err
+	}
+	f2, err := sys.F2(aug)
+	if err != nil {
+		return nil, err
+	}
+	m := mapping.NewH2Map(sys, aug)
+	return &chaosSys{
+		base: sys.A3, f2: f2, order: sys.Order,
+		procOf:    sys.ProcStateOf,
+		applyH2:   m.Apply,
+		startEdge: m.StartEdge,
+	}, nil
+}
+
+func chaosCell(cfg ChaosConfig, prof faults.Profile, seed int64, hardened bool) (ChaosRow, error) {
+	row := ChaosRow{Profile: prof, Seed: seed, Hardened: hardened, MaxPending: -1}
+	t := cfg.Tree
+	sched, err := faults.NewSchedule(seed, prof)
+	if err != nil {
+		return row, err
+	}
+	aug, err := graph.Augment(t)
+	if err != nil {
+		return row, err
+	}
+	sys, err := buildChaosSys(t, aug, cfg.Holder, faults.Injection{Sched: sched}, hardened)
+	if err != nil {
+		return row, err
+	}
+
+	var names []string
+	for _, u := range t.NodesOf(graph.User) {
+		names = append(names, t.Node(u).Name)
+	}
+	a3x, err := ioa.Rename(sys.base, sys.f2)
+	if err != nil {
+		return row, err
+	}
+	f1 := graphlevel.F1(aug)
+	arb, err := ioa.Rename(a3x, f1)
+	if err != nil {
+		return row, err
+	}
+	env := users.HeavyLoad(names)
+	closed, err := ioa.Compose("chaos", append([]ioa.Automaton{arb}, users.Automata(env)...)...)
+	if err != nil {
+		return row, err
+	}
+	x, err := sim.Run(closed, &sim.RoundRobin{}, cfg.Steps, nil)
+	if err != nil {
+		return row, err
+	}
+	row.Steps = x.Len()
+
+	// Grants and starvation from the action trace.
+	row.Grants = make([]int, len(names))
+	lastReq := make([]int, len(names))
+	lastGrant := make([]int, len(names))
+	for u := range names {
+		lastReq[u], lastGrant[u] = -1, -1
+	}
+	for i, act := range x.Acts {
+		for u, name := range names {
+			switch act {
+			case ioa.Act("request", name):
+				lastReq[u] = i
+			case ioa.Act("grant", name):
+				lastGrant[u] = i
+				row.Grants[u]++
+			}
+		}
+	}
+	// A pending request is starved if service to this user has stopped
+	// for good: either the run halted quiescent with the request
+	// unanswered (nothing is enabled any more, e.g. the token was
+	// destroyed by a dropped grant message), or the user saw no grant
+	// in the entire second half of the run while the arbiter passed
+	// the request over many times (grants kept flowing to others).
+	// The passing-over threshold separates lockout from degradation:
+	// faulty channels can stretch one wait to a few rotations, but
+	// only a lost obligation explains dozens with none to this user.
+	threshold := cfg.StarveGrants
+	if threshold == 0 {
+		threshold = 10 * len(names)
+	}
+	halted := x.Len() < cfg.Steps
+	for u := range names {
+		if lastReq[u] < 0 || lastGrant[u] >= lastReq[u] {
+			continue
+		}
+		if halted {
+			row.Starved = true
+			continue
+		}
+		if lastGrant[u] >= x.Len()/2 {
+			continue
+		}
+		grantsSince := 0
+		for i := lastReq[u]; i < x.Len(); i++ {
+			if x.Acts[i].Base() == "grant" {
+				grantsSince++
+			}
+		}
+		if grantsSince >= threshold {
+			row.Starved = true
+		}
+	}
+
+	// Lift the run back to an execution of f₂(A₃) resp. f₂(A₃ʳ).
+	comp, err := closed.ProjectExecution(x, 0)
+	if err != nil {
+		return row, err
+	}
+	x3 := &ioa.Execution{Auto: a3x, States: comp.States}
+	for _, act := range comp.Acts {
+		x3.Acts = append(x3.Acts, f1.Invert(act))
+	}
+
+	// Safety in every reached state: token uniqueness directly on the
+	// process states, Lemmas 35/36/41 in the h₂-image.
+	row.MutualExclusion = true
+	row.Lemma35, row.Lemma36, row.Lemma41 = true, true, true
+	for _, st := range x3.States {
+		holders := 0
+		for _, a := range sys.order {
+			ps, err := sys.procOf(st, a)
+			if err != nil {
+				return row, err
+			}
+			if ps.Holding() {
+				holders++
+				continue
+			}
+			if v := t.Neighbors(a)[ps.LastForward()]; t.Node(v).Kind == graph.User {
+				holders++
+			}
+		}
+		if holders > 1 {
+			row.MutualExclusion = false
+		}
+		img, err := sys.applyH2(st)
+		if err != nil {
+			return row, err
+		}
+		if !graphlevel.SingleRoot(img) {
+			row.Lemma35 = false
+		}
+		if !graphlevel.RequestsPointToRoot(img) {
+			row.Lemma36 = false
+		}
+		if !graphlevel.BufferInvariant(img) {
+			row.Lemma41 = false
+		}
+	}
+
+	// Refinement of A₂ along the execution, then of A₁, then the
+	// spec-level latency of request obligations.
+	from, at, err := sys.startEdge()
+	if err != nil {
+		return row, err
+	}
+	a2, err := graphlevel.New(aug, from, at)
+	if err != nil {
+		return row, err
+	}
+	h2 := &proof.PossMapping{
+		A: a3x,
+		B: a2,
+		Map: func(st ioa.State) []ioa.State {
+			img, err := sys.applyH2(st)
+			if err != nil {
+				return nil
+			}
+			return []ioa.State{img}
+		},
+	}
+	x2, err := h2.Correspond(x3)
+	if err != nil {
+		return row, nil // refinement of A₂ broken: report, not fail
+	}
+	row.RefinesA2 = true
+
+	a2r, err := ioa.Rename(a2, f1)
+	if err != nil {
+		return row, err
+	}
+	a1 := spec.New(spec.Users(names))
+	x2r := &ioa.Execution{Auto: a2r, States: x2.States}
+	for _, act := range x2.Acts {
+		x2r.Acts = append(x2r.Acts, f1.Apply(act))
+	}
+	x1, err := mapping.H1(aug, a2r, a1).Correspond(x2r)
+	if err != nil {
+		return row, nil
+	}
+	row.RefinesA1 = true
+
+	var goals []*proof.LeadsTo
+	for u := range names {
+		goals = append(goals, chaosGrantResponds(names, u))
+	}
+	row.MaxPending = 0
+	for _, lat := range proof.MaxLatency(x1, goals) {
+		if lat > row.MaxPending {
+			row.MaxPending = lat
+		}
+	}
+	return row, nil
+}
+
+// chaosGrantResponds is the spec-level no-lockout condition for user
+// u: a state with u requesting obliges a later grant(u).
+func chaosGrantResponds(names []string, u int) *proof.LeadsTo {
+	name := names[u]
+	return &proof.LeadsTo{
+		Name: "GrRes(" + name + ")",
+		S: func(st ioa.State) bool {
+			s, ok := st.(interface{ Requesting(int) bool })
+			return ok && s.Requesting(u)
+		},
+		T: func(act ioa.Action) bool { return act == ioa.Act("grant", name) },
+	}
+}
+
+// PrintChaos renders a chaos sweep table.
+func PrintChaos(w io.Writer, rows []ChaosRow) {
+	title := "Chaos sweep — fault rates vs surviving correctness properties"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	fmt.Fprintf(w, "%-22s %5s %-4s %6s %-12s %7s %4s %4s %4s %4s %4s %4s %8s\n",
+		"faults", "seed", "sys", "steps", "grants", "starved", "ME",
+		"L35", "L36", "L41", "h2", "h1", "maxpend")
+	mark := func(b bool) string {
+		if b {
+			return "ok"
+		}
+		return "FAIL"
+	}
+	for _, r := range rows {
+		sysName := "A3"
+		if r.Hardened {
+			sysName = "A3r"
+		}
+		grants := strings.Trim(fmt.Sprint(r.Grants), "[]")
+		pend := "-"
+		if r.MaxPending >= 0 {
+			pend = fmt.Sprint(r.MaxPending)
+		}
+		fmt.Fprintf(w, "%-22s %5d %-4s %6d %-12s %7t %4s %4s %4s %4s %4s %4s %8s\n",
+			r.Profile, r.Seed, sysName, r.Steps, grants, r.Starved,
+			mark(r.MutualExclusion), mark(r.Lemma35), mark(r.Lemma36),
+			mark(r.Lemma41), mark(r.RefinesA2), mark(r.RefinesA1), pend)
+	}
+	fmt.Fprintln(w)
+}

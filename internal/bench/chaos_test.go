@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/graph"
+)
+
+// TestChaosSweep runs a small sweep over the Figure 3.2 tree and
+// checks the expected survive/degrade/break pattern:
+//
+//   - fault-free runs of both systems satisfy every property;
+//   - the hardened A₃ʳ keeps every property under the lossy+
+//     duplicating channel;
+//   - the plain A₃ fails under that channel, in one of two ways
+//     depending on which message the schedule kills: a dropped
+//     request starves a user while every safety property — even the
+//     h₂ correspondence — still holds (a pure liveness failure,
+//     invisible to possibilities mappings), whereas a dropped grant
+//     destroys the token, breaking the Lemma 35 single-root invariant
+//     and the refinement itself. The seeds below exhibit both modes.
+func TestChaosSweep(t *testing.T) {
+	tr, err := graph.Figure32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Chaos(ChaosConfig{
+		Tree:   tr,
+		Holder: 0,
+		Profiles: []faults.Profile{
+			{},
+			{Drop: 0.3, Duplicate: 0.15},
+		},
+		Seeds: []int64{1, 2, 5},
+		Steps: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("expected 12 rows, got %d", len(rows))
+	}
+	var sb strings.Builder
+	PrintChaos(&sb, rows)
+	t.Log("\n" + sb.String())
+
+	allOK := func(r ChaosRow) bool {
+		return !r.Starved && r.MutualExclusion && r.Lemma35 && r.Lemma36 &&
+			r.Lemma41 && r.RefinesA2 && r.RefinesA1 && r.MaxPending >= 0
+	}
+	var livenessOnly, safetyBreak bool
+	for _, r := range rows {
+		served := true
+		for _, g := range r.Grants {
+			if g == 0 {
+				served = false
+			}
+		}
+		switch {
+		case r.Profile.Zero():
+			if !allOK(r) || !served {
+				t.Errorf("fault-free hardened=%t seed=%d: expected every property to hold: %+v",
+					r.Hardened, r.Seed, r)
+			}
+		case r.Hardened:
+			if !allOK(r) || !served {
+				t.Errorf("hardened under %s seed=%d: expected every property to hold: %+v",
+					r.Profile, r.Seed, r)
+			}
+		default:
+			if !r.Starved && r.RefinesA2 {
+				t.Errorf("plain A3 under %s seed=%d: expected no-lockout or refinement to break: %+v",
+					r.Profile, r.Seed, r)
+			}
+			if r.Starved && r.RefinesA2 && r.Lemma35 {
+				livenessOnly = true
+			}
+			if !r.Lemma35 && !r.RefinesA2 {
+				safetyBreak = true
+			}
+		}
+	}
+	if !livenessOnly {
+		t.Error("no seed exhibited the liveness-only failure (dropped request: starvation with safety intact)")
+	}
+	if !safetyBreak {
+		t.Error("no seed exhibited the safety failure (dropped grant: token destroyed, Lemma 35 and h2 broken)")
+	}
+}
+
+// TestChaosPerFaultClass pins down the failure mode of each fault
+// class in isolation:
+//
+//   - drop: the plain A₃ loses no-lockout (a lost request or grant is
+//     never resent); A₃ʳ restores it.
+//   - dup: the plain A₃ keeps serving users — the defensive
+//     receivegrant precondition ignores stale grants arriving in FIFO
+//     order — but the *proof* breaks: duplicate messages in transit
+//     put phantom arrows in the h₂-image, violating Lemmas 35/36/41
+//     and the refinement. A₃ʳ restores the full hierarchy.
+//   - delay: the boundary of the hardening. The plain A₃ happens to
+//     survive (its channels rarely hold two messages, so overtaking
+//     has nothing to overtake), but A₃ʳ's alternating-bit links
+//     assume FIFO channels: reordered packets wedge the handshakes,
+//     the system halts with requests pending, and h₂ʳ fails — as the
+//     Lemma 46 discussion and TestReorderBreaksHardenedArbiter
+//     predict.
+func TestChaosPerFaultClass(t *testing.T) {
+	tr, err := graph.Figure32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p faults.Profile) (plain, hard ChaosRow) {
+		t.Helper()
+		rows, err := Chaos(ChaosConfig{
+			Tree: tr, Holder: 0,
+			Profiles: []faults.Profile{p},
+			Seeds:    []int64{1},
+			Steps:    4000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows[0], rows[1]
+	}
+
+	plain, hard := run(faults.Profile{Drop: 0.3})
+	if !plain.Starved {
+		t.Errorf("drop: expected plain A3 to starve a user: %+v", plain)
+	}
+	if hard.Starved || !hard.RefinesA1 || !hard.MutualExclusion {
+		t.Errorf("drop: expected A3r to restore no-lockout and refinement: %+v", hard)
+	}
+
+	plain, hard = run(faults.Profile{Duplicate: 0.15})
+	if plain.RefinesA2 || plain.Lemma35 {
+		t.Errorf("dup: expected phantom in-transit copies to break h2 and Lemma 35 for plain A3: %+v", plain)
+	}
+	if plain.Starved || !plain.MutualExclusion {
+		t.Errorf("dup: plain A3's observable behavior should survive duplication alone: %+v", plain)
+	}
+	if hard.Starved || !hard.RefinesA1 || !hard.MutualExclusion {
+		t.Errorf("dup: expected A3r to restore the refinement: %+v", hard)
+	}
+
+	plain, hard = run(faults.Profile{Delay: 3})
+	if plain.Starved || !plain.RefinesA1 {
+		t.Errorf("delay: plain A3 should survive bounded overtaking on its sparse channels: %+v", plain)
+	}
+	if hard.RefinesA2 {
+		t.Errorf("delay: expected the FIFO assumption of the alternating-bit links to break h2r: %+v", hard)
+	}
+	if !hard.Starved {
+		t.Errorf("delay: expected the wedged A3r to leave requests unanswered: %+v", hard)
+	}
+}

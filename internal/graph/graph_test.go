@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/testseed"
 )
 
 func figTree(t *testing.T) *Tree {
@@ -294,7 +296,7 @@ func TestPointsTowardProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, testseed.Quick(t, 30)); err != nil {
 		t.Error(err)
 	}
 }

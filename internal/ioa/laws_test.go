@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/explore"
 	"repro/internal/ioa"
+	"repro/internal/testseed"
 )
 
 // randAutomaton builds a small random table automaton over the given
@@ -48,8 +49,9 @@ func randAutomaton(rng *rand.Rand, name string, in, out, internal []ioa.Action) 
 // (Lemma 1/5), and its schedule's projections are schedules of the
 // components (Lemma 6).
 func TestLemma5ExecsOfCompositionProject(t *testing.T) {
+	base := testseed.Base(t)
 	for seed := int64(0); seed < 12; seed++ {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rand.New(rand.NewSource(base + seed))
 		a := randAutomaton(rng, "A", []ioa.Action{"y"}, []ioa.Action{"x"}, []ioa.Action{"h"})
 		b := randAutomaton(rng, "B", []ioa.Action{"x"}, []ioa.Action{"y"}, nil)
 		c, err := ioa.Compose("AB", a, b)
@@ -95,8 +97,9 @@ func TestLemma5ExecsOfCompositionProject(t *testing.T) {
 // alphabets make the bounded composition enumeration exact).
 func TestLemma6SchedsCommute(t *testing.T) {
 	const depth = 3
+	base := testseed.Base(t)
 	for seed := int64(0); seed < 8; seed++ {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rand.New(rand.NewSource(base + seed))
 		a := randAutomaton(rng, "A", nil, []ioa.Action{"x"}, nil)
 		b := randAutomaton(rng, "B", nil, []ioa.Action{"y"}, nil)
 		c, err := ioa.Compose("AB", a, b)
@@ -129,8 +132,9 @@ func TestLemma6SchedsCommute(t *testing.T) {
 // same bounded enumerations, with internal actions present.
 func TestLemma7ExternalCommute(t *testing.T) {
 	const depth = 3
+	base := testseed.Base(t)
 	for seed := int64(0); seed < 8; seed++ {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rand.New(rand.NewSource(base + seed))
 		a := randAutomaton(rng, "A", nil, []ioa.Action{"x"}, []ioa.Action{"ha"})
 		b := randAutomaton(rng, "B", nil, []ioa.Action{"y"}, []ioa.Action{"hb"})
 		c, err := ioa.Compose("AB", a, b)
@@ -180,8 +184,9 @@ func TestLemma7ExternalCommute(t *testing.T) {
 // signatures: Execs(Hide(A)) and Execs(A) coincide stepwise, and
 // Behaviors(Hide(A)) equals Behaviors(A) projected.
 func TestLemma12HideCommutesWithExecs(t *testing.T) {
+	base := testseed.Base(t)
 	for seed := int64(0); seed < 10; seed++ {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rand.New(rand.NewSource(base + seed))
 		a := randAutomaton(rng, "A", []ioa.Action{"i"}, []ioa.Action{"x", "z"}, nil)
 		h := ioa.Hide(a, ioa.NewSet("z"))
 		sa, err := explore.Schedules(a, 3)
@@ -223,8 +228,9 @@ func TestLemma12HideCommutesWithExecs(t *testing.T) {
 // TestLemma14HideComposeCommute: Hide_∪Σᵢ(∏Oᵢ) = ∏Hide_Σᵢ(Oᵢ) when
 // each Σᵢ is local to its component.
 func TestLemma14HideComposeCommute(t *testing.T) {
+	base := testseed.Base(t)
 	for seed := int64(0); seed < 10; seed++ {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rand.New(rand.NewSource(base + seed))
 		a := randAutomaton(rng, "A", nil, []ioa.Action{"x", "xz"}, nil)
 		b := randAutomaton(rng, "B", nil, []ioa.Action{"y", "yz"}, nil)
 		lhsInner, err := ioa.Compose("AB", a, b)

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/testseed"
 )
 
 func TestValidateCatchesMissingStart(t *testing.T) {
@@ -91,7 +93,7 @@ func TestTupleStateKeyInjective(t *testing.T) {
 		equal := a1 == a2 && b1 == b2
 		return (s1.Key() == s2.Key()) == equal
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, testseed.Quick(t, 0)); err != nil {
 		t.Error(err)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/ioa"
 	"repro/internal/sim"
+	"repro/internal/testseed"
 )
 
 // randomExecutions produces varied finite executions of the Figure 2.3
@@ -15,8 +16,9 @@ func randomExecutions(t *testing.T, count int) []*ioa.Execution {
 	t.Helper()
 	a := figures.Fig23C()
 	var out []*ioa.Execution
+	base := testseed.Base(t)
 	for seed := int64(0); seed < int64(count); seed++ {
-		x, err := sim.Run(a, sim.NewRandom(seed), int(3+seed%9), nil)
+		x, err := sim.Run(a, sim.NewRandom(base+seed), int(3+seed%9), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -65,7 +67,7 @@ func randomFormula(rng *rand.Rand, depth int) Formula {
 //	◇φ ≡ ⊤ U φ       □φ ≡ ¬(⊤ U ¬φ)
 //	Xφ ≡ ¬X̃¬φ        (strong/weak next duality)
 func TestLTLDualities(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	rng := testseed.Rand(t, 7)
 	execs := randomExecutions(t, 6)
 	for trial := 0; trial < 200; trial++ {
 		f := randomFormula(rng, 1+rng.Intn(2))
@@ -99,7 +101,7 @@ func TestLTLDualities(t *testing.T) {
 //	□φ ≡ φ ∧ X̃□φ
 //	φUψ ≡ ψ ∨ (φ ∧ X(φUψ))
 func TestLTLExpansionLaws(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	rng := testseed.Rand(t, 11)
 	execs := randomExecutions(t, 5)
 	for trial := 0; trial < 150; trial++ {
 		f := randomFormula(rng, 1)

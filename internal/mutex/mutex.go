@@ -21,6 +21,7 @@ package mutex
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/ioa"
 )
 
@@ -145,6 +146,22 @@ func NewRegister(name string, initVal int) *ioa.Prog {
 			})
 	}
 	return d.MustBuild()
+}
+
+// NewStuckRegister builds a faulty binary register whose value is
+// stuck at the given constant: writes are acknowledged but silently
+// discarded, and reads always return stuck. It is NewRegister under a
+// faults.Clamp that projects every state back onto val = stuck —
+// failure injection for showing that Peterson's algorithm's safety
+// rests on the registers' semantics.
+func NewStuckRegister(name string, stuck int) ioa.Automaton {
+	return faults.Clamp(NewRegister(name, stuck), "stuck", func(st ioa.State) ioa.State {
+		s := st.(*regState)
+		if s.val == stuck {
+			return s
+		}
+		return newRegState(stuck, s.pending)
+	})
 }
 
 // Process program counters.

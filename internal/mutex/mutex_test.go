@@ -235,7 +235,7 @@ func TestFaultyRegisterBreaksMutex(t *testing.T) {
 	comps := []ioa.Automaton{
 		sys.Procs[0], sys.Procs[1],
 		NewRegister(RegFlag0, 0),
-		stuckRegister(t, RegFlag1, 0),
+		NewStuckRegister(RegFlag1, 0),
 		NewRegister(RegTurn, 0),
 	}
 	composite, err := ioa.Compose("faulty-peterson", comps...)
@@ -263,61 +263,6 @@ func TestFaultyRegisterBreaksMutex(t *testing.T) {
 		t.Fatal("a stuck-at-0 flag register must break mutual exclusion")
 	}
 	t.Logf("violation witness (%d steps): %v", v.Trace.Len(), ioa.TraceString(v.Trace.Acts))
-}
-
-// stuckRegister is a faulty binary register whose reads always return
-// stuck, regardless of writes (writes are acknowledged and discarded).
-func stuckRegister(t *testing.T, name string, stuck int) *ioa.Prog {
-	t.Helper()
-	d := ioa.NewDef("R_" + name + "_stuck")
-	d.Start(newRegState(stuck, [2]string{"", ""}))
-	for i := 0; i < 2; i++ {
-		i := i
-		for v := 0; v < 2; v++ {
-			v := v
-			d.Input(Write(name, i, v), func(st ioa.State) ioa.State {
-				s := st.(*regState)
-				if s.pending[i] != "" {
-					return s
-				}
-				p := s.pending
-				p[i] = "w" + itoa(v)
-				return newRegState(s.val, p)
-			})
-			d.Output(Value(name, i, v), name,
-				func(st ioa.State) bool {
-					s := st.(*regState)
-					return s.pending[i] == "r" && v == stuck
-				},
-				func(st ioa.State) ioa.State {
-					s := st.(*regState)
-					p := s.pending
-					p[i] = ""
-					return newRegState(s.val, p)
-				})
-		}
-		d.Input(Read(name, i), func(st ioa.State) ioa.State {
-			s := st.(*regState)
-			if s.pending[i] != "" {
-				return s
-			}
-			p := s.pending
-			p[i] = "r"
-			return newRegState(s.val, p)
-		})
-		d.Output(Ack(name, i), name,
-			func(st ioa.State) bool {
-				s := st.(*regState)
-				return s.pending[i] == "w0" || s.pending[i] == "w1"
-			},
-			func(st ioa.State) ioa.State {
-				s := st.(*regState)
-				p := s.pending
-				p[i] = ""
-				return newRegState(s.val, p) // value unchanged: stuck
-			})
-	}
-	return d.MustBuild()
 }
 
 // TestExternalSignature: only the try/crit/exit/rem interface is

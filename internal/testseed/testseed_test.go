@@ -1,0 +1,41 @@
+package testseed
+
+import "testing"
+
+func TestBaseDefaultsToZero(t *testing.T) {
+	t.Setenv("REPRO_SEED", "")
+	if got := Base(t); got != 0 {
+		t.Fatalf("default seed = %d, want 0", got)
+	}
+}
+
+func TestBaseReadsEnv(t *testing.T) {
+	t.Setenv("REPRO_SEED", "42")
+	if got := Base(t); got != 42 {
+		t.Fatalf("seed = %d, want 42", got)
+	}
+}
+
+func TestRandIsDeterministic(t *testing.T) {
+	t.Setenv("REPRO_SEED", "7")
+	a, b := Rand(t, 3), Rand(t, 3)
+	for i := 0; i < 16; i++ {
+		if x, y := a.Int63(), b.Int63(); x != y {
+			t.Fatalf("streams diverge at %d: %d vs %d", i, x, y)
+		}
+	}
+	if Rand(t, 3).Int63() == Rand(t, 4).Int63() && Rand(t, 3).Int63() == Rand(t, 4).Int63() {
+		t.Fatal("offset streams should differ")
+	}
+}
+
+func TestQuickSeeded(t *testing.T) {
+	t.Setenv("REPRO_SEED", "5")
+	cfg := Quick(t, 30)
+	if cfg.MaxCount != 30 || cfg.Rand == nil {
+		t.Fatalf("unexpected config: %+v", cfg)
+	}
+	if Quick(t, 0).Rand.Int63() != Quick(t, 0).Rand.Int63() {
+		t.Fatal("quick configs with the same seed must agree")
+	}
+}
