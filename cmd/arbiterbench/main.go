@@ -4,9 +4,15 @@
 // combined-message ablation, and the comparison against the [LF81]
 // round-robin and tournament arbiters.
 //
+// It also measures the exploration engine itself: the -explore sweep
+// times sequential (cached and uncached) against parallel sharded
+// reachability on the closed arbiter levels 1–3 and can emit the rows
+// as JSON (BENCH_explore.json) with -explore-out.
+//
 // Usage:
 //
-//	arbiterbench [-b bound] [-seed n] [-max n] [-quick]
+//	arbiterbench [-b bound] [-seed n] [-max n] [-quick] [-workers n]
+//	             [-explore] [-explore-users n] [-explore-out file]
 package main
 
 import (
@@ -24,12 +30,37 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("arbiterbench: ")
 	var (
-		b     = flag.Float64("b", 1, "per-step time bound b")
-		seed  = flag.Int64("seed", 1, "scheduler tie-break seed")
-		maxN  = flag.Int("max", 64, "largest user count in sweeps")
-		quick = flag.Bool("quick", false, "small sweep for smoke testing")
+		b            = flag.Float64("b", 1, "per-step time bound b")
+		seed         = flag.Int64("seed", 1, "scheduler tie-break seed")
+		maxN         = flag.Int("max", 64, "largest user count in sweeps")
+		quick        = flag.Bool("quick", false, "small sweep for smoke testing")
+		workers      = flag.Int("workers", 0, "worker pool size for per-state safety checks (0 = GOMAXPROCS)")
+		exploreRun   = flag.Bool("explore", false, "run the serial-vs-parallel reachability sweep and exit")
+		exploreUsers = flag.Int("explore-users", 6, "users per arbiter instance in the -explore sweep")
+		exploreOut   = flag.String("explore-out", "", "write -explore rows as JSON to this file")
 	)
 	flag.Parse()
+
+	if *exploreRun {
+		rows, err := bench.ExploreSweep(bench.ExploreConfig{Users: *exploreUsers, Reps: 3})
+		if err != nil {
+			log.Fatalf("explore sweep: %v", err)
+		}
+		bench.PrintExplore(os.Stdout, rows)
+		if *exploreOut != "" {
+			f, err := os.Create(*exploreOut)
+			if err != nil {
+				log.Fatalf("explore out: %v", err)
+			}
+			if err := bench.WriteExploreJSON(f, rows); err != nil {
+				log.Fatalf("explore out: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("explore out: %v", err)
+			}
+		}
+		return
+	}
 
 	sizes := sweep(*maxN)
 	if *quick {
@@ -103,6 +134,7 @@ func main() {
 		Profiles: bench.DefaultChaosProfiles(),
 		Seeds:    chaosSeeds,
 		Steps:    chaosSteps,
+		Workers:  *workers,
 	})
 	if err != nil {
 		log.Fatalf("chaos sweep: %v", err)

@@ -8,7 +8,13 @@
 //	ioasim -system fig21|fig22|fig23c|arbiter1|arbiter2|arbiter3|arbiter3r|ring|mutex
 //	       [-steps n] [-policy rr|random] [-seed n] [-users n]
 //	       [-faults drop=0.1,dup=0.05,delay=3] [-fault-seed n]
-//	       [-trace] [-json] [-dot]
+//	       [-trace] [-json] [-dot] [-reach] [-workers n] [-limit n]
+//
+// The -reach flag explores the system's reachable state space instead
+// of simulating it, reporting the state count and deadlocks; -workers
+// selects the sharded parallel explorer (0 = GOMAXPROCS, 1 =
+// sequential), whose results are bit-identical to the sequential
+// explorer at any worker count. -limit bounds the exploration.
 //
 // The -faults flag injects seeded channel faults into the distributed
 // arbiter systems: arbiter3 runs the plain A₃ over the faulty channels
@@ -23,6 +29,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -57,6 +64,9 @@ func main() {
 		dotOut  = flag.Bool("dot", false, "emit the reachable state graph in Graphviz DOT format and exit")
 		faultsF = flag.String("faults", "none", "channel fault profile, e.g. drop=0.1,dup=0.05,delay=3 (arbiter3/arbiter3r)")
 		faultSd = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+		reach   = flag.Bool("reach", false, "explore the reachable state space instead of simulating")
+		workers = flag.Int("workers", 0, "exploration workers for -reach (0 = GOMAXPROCS, 1 = sequential)")
+		limit   = flag.Int("limit", 0, "state budget for -reach (0 = default)")
 	)
 	flag.Parse()
 
@@ -71,6 +81,35 @@ func main() {
 	if *dotOut {
 		if err := explore.WriteDOT(os.Stdout, auto, 4096); err != nil {
 			log.Fatal(err)
+		}
+		return
+	}
+	if *reach {
+		opts := explore.Options{Workers: *workers, Limit: *limit}
+		states, err := explore.ReachOpts(auto, opts)
+		truncated := false
+		if err != nil {
+			if !errors.Is(err, explore.ErrLimit) {
+				log.Fatal(err)
+			}
+			truncated = true
+		}
+		fmt.Printf("%s: %d reachable states", auto.Name(), len(states))
+		if truncated {
+			fmt.Printf(" (truncated at state budget; pass a larger -limit)")
+			fmt.Println()
+			return
+		}
+		fmt.Println()
+		dead, err := explore.DeadlocksOpts(auto, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(dead) == 0 {
+			fmt.Println("no quiescent states")
+		} else {
+			fmt.Printf("%d quiescent states (nothing locally controlled enabled); first: %s\n",
+				len(dead), dead[0].Key())
 		}
 		return
 	}
@@ -185,11 +224,18 @@ func buildSystem(name string, nUsers int, prof faults.Profile, faultSeed int64) 
 				return nil, err
 			}
 		} else {
-			sched, err := faults.NewSchedule(faultSeed, prof)
-			if err != nil {
-				return nil, err
+			// A zero profile gets the plain reliable channels rather
+			// than a zero-rate schedule: scheduled channels carry
+			// per-channel sequence counters in their state, which makes
+			// the -reach state space unbounded for no behavioral gain.
+			var inj faults.Injection
+			if !prof.Zero() {
+				sched, err := faults.NewSchedule(faultSeed, prof)
+				if err != nil {
+					return nil, err
+				}
+				inj = faults.Injection{Sched: sched}
 			}
-			inj := faults.Injection{Sched: sched}
 			holder := tr.NodesOf(graph.Arbiter)[0]
 			aug, err := graph.Augment(tr)
 			if err != nil {

@@ -3,7 +3,9 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/arbiter/dist"
 	"repro/internal/arbiter/graphlevel"
@@ -68,6 +70,11 @@ type ChaosConfig struct {
 	// worst queueing delay observed on conforming runs, and two
 	// orders below what genuine lockout produces).
 	StarveGrants int
+	// Workers parallelizes the per-state safety checks of each cell
+	// (mutual exclusion and the Lemma 35/36/41 graph invariants) across
+	// that many goroutines. 0 means GOMAXPROCS; the results are
+	// independent of the worker count.
+	Workers int
 }
 
 // DefaultChaosProfiles is the standard sweep: fault-free baseline,
@@ -258,41 +265,15 @@ func chaosCell(cfg ChaosConfig, prof faults.Profile, seed int64, hardened bool) 
 	}
 
 	// Safety in every reached state: token uniqueness directly on the
-	// process states, Lemmas 35/36/41 in the h₂-image.
-	row.MutualExclusion = true
-	row.Lemma35, row.Lemma36, row.Lemma41 = true, true, true
-	for _, st := range x3.States {
-		holders := 0
-		for _, a := range sys.order {
-			ps, err := sys.procOf(st, a)
-			if err != nil {
-				return row, err
-			}
-			if ps.Holding() {
-				holders++
-				continue
-			}
-			if v := t.Neighbors(a)[ps.LastForward()]; t.Node(v).Kind == graph.User {
-				holders++
-			}
-		}
-		if holders > 1 {
-			row.MutualExclusion = false
-		}
-		img, err := sys.applyH2(st)
-		if err != nil {
-			return row, err
-		}
-		if !graphlevel.SingleRoot(img) {
-			row.Lemma35 = false
-		}
-		if !graphlevel.RequestsPointToRoot(img) {
-			row.Lemma36 = false
-		}
-		if !graphlevel.BufferInvariant(img) {
-			row.Lemma41 = false
-		}
+	// process states, Lemmas 35/36/41 in the h₂-image. The per-state
+	// checks are pure functions of the state, so they shard across
+	// workers; verdicts are conjunctions and hence order-independent.
+	safety, err := chaosSafetyScan(cfg.Workers, t, sys, x3.States)
+	if err != nil {
+		return row, err
 	}
+	row.MutualExclusion = safety.mutex
+	row.Lemma35, row.Lemma36, row.Lemma41 = safety.l35, safety.l36, safety.l41
 
 	// Refinement of A₂ along the execution, then of A₁, then the
 	// spec-level latency of request obligations.
@@ -347,6 +328,84 @@ func chaosCell(cfg ChaosConfig, prof faults.Profile, seed int64, hardened bool) 
 		}
 	}
 	return row, nil
+}
+
+// chaosSafety aggregates the per-state safety verdicts of one cell.
+type chaosSafety struct {
+	mutex, l35, l36, l41 bool
+}
+
+// chaosSafetyScan evaluates token uniqueness and the Lemma 35/36/41
+// graph invariants over every state, sharded across workers.
+func chaosSafetyScan(workers int, t *graph.Tree, sys *chaosSys, states []ioa.State) (chaosSafety, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(states) {
+		workers = len(states)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]chaosSafety, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := chaosSafety{mutex: true, l35: true, l36: true, l41: true}
+			for i := w; i < len(states); i += workers {
+				st := states[i]
+				holders := 0
+				for _, a := range sys.order {
+					ps, err := sys.procOf(st, a)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if ps.Holding() {
+						holders++
+						continue
+					}
+					if v := t.Neighbors(a)[ps.LastForward()]; t.Node(v).Kind == graph.User {
+						holders++
+					}
+				}
+				if holders > 1 {
+					res.mutex = false
+				}
+				img, err := sys.applyH2(st)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if !graphlevel.SingleRoot(img) {
+					res.l35 = false
+				}
+				if !graphlevel.RequestsPointToRoot(img) {
+					res.l36 = false
+				}
+				if !graphlevel.BufferInvariant(img) {
+					res.l41 = false
+				}
+			}
+			results[w] = res
+		}()
+	}
+	wg.Wait()
+	out := chaosSafety{mutex: true, l35: true, l36: true, l41: true}
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return out, errs[w]
+		}
+		out.mutex = out.mutex && results[w].mutex
+		out.l35 = out.l35 && results[w].l35
+		out.l36 = out.l36 && results[w].l36
+		out.l41 = out.l41 && results[w].l41
+	}
+	return out, nil
 }
 
 // chaosGrantResponds is the spec-level no-lockout condition for user

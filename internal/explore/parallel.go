@@ -1,0 +1,415 @@
+package explore
+
+// Parallel sharded state-space exploration. The engine runs a
+// level-synchronized BFS: each level's frontier is expanded by a pool
+// of workers that steal fixed-size chunks of the frontier off a shared
+// cursor, successors are routed to per-(worker, shard) outboxes, and
+// at the level barrier each shard's owner merges its inbox against the
+// shard-local seen map. States are assigned to shards by a hash of
+// State.Key(), so no two goroutines ever write the same map.
+//
+// Determinism argument. The set of states discovered at depth d is a
+// pure function of the set at depths < d — it does not depend on which
+// worker expanded which state, because membership is decided at the
+// barrier against seen maps that are frozen during expansion. Each
+// level is canonically sorted by key before it is appended to the
+// result, so ParallelReach returns a bit-identical slice on every run
+// with any worker count: all states of depth d, ordered by key,
+// preceded by all states of smaller depth. Witness parents are also
+// canonical: when several transitions discover the same state in one
+// level, the merge keeps the lexicographically least (parent key,
+// action) pair, which is the global minimum over all candidates no
+// matter how the level's work was split.
+//
+// Where the sequential explorer probes Next(s, π) for every action π
+// of the signature, the engine expands only Enabled(s) plus the input
+// actions. This is exact for I/O automata: inputs are enabled in every
+// state (the input-enabledness axiom, §2.1), and a locally-controlled
+// action outside Enabled(s) has no step from s. It turns the per-state
+// cost from |acts(A)| guard evaluations into |enabled(s)| + |in(A)|,
+// which the composition memo layer makes mostly cache hits; the
+// differential test battery checks the resulting state sets against
+// the sequential sweep on every seed.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ioa"
+)
+
+// DefaultLimit is the state budget used when Options.Limit is zero.
+const DefaultLimit = 1 << 20
+
+// Options parameterizes state-space exploration.
+type Options struct {
+	// Workers is the number of exploration goroutines. 0 means
+	// GOMAXPROCS; 1 runs the engine degenerate (single worker).
+	Workers int
+	// Limit is the maximum number of states to admit (0 =
+	// DefaultLimit). The ErrLimit contract matches the sequential
+	// explorer: the partial result holds exactly Limit states (all
+	// complete BFS levels plus a canonical prefix of the boundary
+	// level) and ErrLimit is returned iff an unseen state remains.
+	Limit int
+	// Dedup enables sender-side duplicate suppression: each worker
+	// additionally filters the successors it forwards through a local
+	// per-level table, reducing outbox traffic on diamond-heavy state
+	// graphs. Results are identical with it on or off.
+	Dedup bool
+}
+
+// workers resolves the worker count.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	if o.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return 1
+}
+
+// limit resolves the state budget.
+func (o Options) limit() int {
+	if o.Limit > 0 {
+		return o.Limit
+	}
+	return DefaultLimit
+}
+
+// ReachOpts is Reach with an options struct: sequential when
+// opts.Workers resolves to one worker, sharded-parallel otherwise.
+// Both paths return the same state set and the same error behavior.
+func ReachOpts(a ioa.Automaton, opts Options) ([]ioa.State, error) {
+	if opts.workers() <= 1 {
+		return Reach(a, opts.limit())
+	}
+	return ParallelReach(a, opts)
+}
+
+// CheckInvariantOpts is CheckInvariant with an options struct,
+// dispatching exactly like ReachOpts.
+func CheckInvariantOpts(a ioa.Automaton, opts Options, pred func(ioa.State) bool) (*Violation, error) {
+	if opts.workers() <= 1 {
+		return CheckInvariant(a, opts.limit(), pred)
+	}
+	return ParallelCheck(a, opts, pred)
+}
+
+// ParallelReach computes the reachable states of a with a sharded
+// worker pool. The returned slice is deterministic (independent of
+// scheduling and worker count): states appear in BFS-depth order,
+// canonically sorted by key within each depth. The state SET is
+// identical to Reach's; on ErrLimit the partial result has exactly
+// opts.Limit states, like Reach's.
+func ParallelReach(a ioa.Automaton, opts Options) ([]ioa.State, error) {
+	order, _, err := parallelExplore(a, opts, nil)
+	return order, err
+}
+
+// ParallelCheck explores like ParallelReach and checks pred at every
+// admitted state, returning a violation with a minimal-length witness
+// trace. The verdict (violation vs none) agrees with CheckInvariant
+// whenever the reachable state count is below the limit. Under budget
+// exhaustion both return ErrLimit, except that ParallelCheck checks
+// the entire boundary level before giving up and so may report a
+// genuine violation where CheckInvariant reports ErrLimit; any
+// violation reported is a true, reachable violation. pred is only
+// called from the coordinating goroutine and need not be thread-safe.
+func ParallelCheck(a ioa.Automaton, opts Options, pred func(ioa.State) bool) (*Violation, error) {
+	if pred == nil {
+		return nil, fmt.Errorf("explore: ParallelCheck: nil predicate")
+	}
+	_, v, err := parallelExplore(a, opts, pred)
+	return v, err
+}
+
+// crumb is one discovered state plus the canonical transition that
+// first (in the lexicographic sense) discovered it.
+type crumb struct {
+	state  ioa.State
+	parent string // key of the predecessor; "" for start states
+	act    ioa.Action
+	depth  int
+}
+
+// crumbLess orders candidate crumbs for the same state: least
+// (parent, act) wins, making witness traces deterministic.
+func crumbLess(a, b crumb) bool {
+	if a.parent != b.parent {
+		return a.parent < b.parent
+	}
+	return a.act < b.act
+}
+
+// shardOf assigns a state key to a shard (FNV-1a over the last 32
+// bytes; structured keys share long prefixes, so the tail carries the
+// entropy and the scan stays O(1) on big composite states).
+func shardOf(key string, n int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	start := 0
+	if len(key) > 32 {
+		start = len(key) - 32
+	}
+	h := uint32(offset32)
+	for i := start; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+func sortStatesByKey(states []ioa.State) {
+	sort.Slice(states, func(i, j int) bool { return states[i].Key() < states[j].Key() })
+}
+
+func errLimit(a ioa.Automaton, limit int) error {
+	return fmt.Errorf("%w: limit %d on %s", ErrLimit, limit, a.Name())
+}
+
+// parallelExplore is the shared engine under ParallelReach and
+// ParallelCheck. When pred is non-nil it is evaluated on every level
+// in canonical order and the first failing state is returned as a
+// Violation with a witness built from the canonical crumb chain.
+func parallelExplore(a ioa.Automaton, opts Options, pred func(ioa.State) bool) ([]ioa.State, *Violation, error) {
+	w := opts.workers()
+	if w < 1 {
+		w = 1
+	}
+	limit := opts.limit()
+	inputs := a.Sig().Inputs().Sorted()
+	shards := make([]map[string]crumb, w)
+	for i := range shards {
+		shards[i] = make(map[string]crumb)
+	}
+
+	// Level 0: the start states, deduplicated and canonically sorted.
+	// Like the sequential explorer, starts are admitted regardless of
+	// the limit.
+	var level []ioa.State
+	for _, s := range a.Start() {
+		key := s.Key()
+		h := shardOf(key, w)
+		if _, ok := shards[h][key]; ok {
+			continue
+		}
+		shards[h][key] = crumb{state: s, depth: 0}
+		level = append(level, s)
+	}
+	sortStatesByKey(level)
+	order := append([]ioa.State(nil), level...)
+	if pred != nil {
+		if v, err := checkLevel(a, shards, level, pred); v != nil || err != nil {
+			return order, v, err
+		}
+		if len(order) >= limit {
+			return order, nil, errLimit(a, limit)
+		}
+	}
+
+	for depth := 1; len(level) > 0; depth++ {
+		next := expandLevel(a, inputs, level, shards, opts.Dedup, depth)
+		if len(next) == 0 {
+			break
+		}
+		room := limit - len(order)
+		if room <= 0 {
+			// An unseen state exists beyond a full budget: the
+			// sequential contract returns the partial result as-is.
+			return order, nil, errLimit(a, limit)
+		}
+		if len(next) > room {
+			admitted := next[:room]
+			order = append(order, admitted...)
+			if pred != nil {
+				if v, err := checkLevel(a, shards, admitted, pred); v != nil || err != nil {
+					return order, v, err
+				}
+			}
+			return order, nil, errLimit(a, limit)
+		}
+		order = append(order, next...)
+		if pred != nil {
+			if v, err := checkLevel(a, shards, next, pred); v != nil || err != nil {
+				return order, v, err
+			}
+			if len(order) >= limit {
+				// Mirror CheckInvariant's stricter budget check: it
+				// errors once the node store is full even when the
+				// frontier is about to empty.
+				return order, nil, errLimit(a, limit)
+			}
+		}
+		level = next
+	}
+	return order, nil, nil
+}
+
+// expandLevel computes the set of undiscovered successors of level,
+// records them (with canonical crumbs) in the shard seen maps, and
+// returns them sorted by key. During expansion the seen maps are
+// frozen (read-only), so workers may consult them freely; all writes
+// happen in the per-shard merge after the barrier, one goroutine per
+// shard. Successors of a state are generated from Enabled(s) plus the
+// input actions (exact by input-enabledness — see the package note).
+func expandLevel(a ioa.Automaton, inputs []ioa.Action, level []ioa.State,
+	shards []map[string]crumb, dedup bool, depth int) []ioa.State {
+	w := len(shards)
+	// outboxes[worker][shard] holds candidate crumbs.
+	outboxes := make([][][]crumb, w)
+	var cursor int64
+	const chunk = 16
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			buckets := make([][]crumb, w)
+			// Sender-side dedup: position of the candidate already
+			// emitted for a key, so a better (lexicographically
+			// smaller) crumb can replace it in place.
+			type pos struct{ shard, idx int }
+			var local map[string]pos
+			if dedup {
+				local = make(map[string]pos)
+			}
+			for {
+				start := int(atomic.AddInt64(&cursor, chunk)) - chunk
+				if start >= len(level) {
+					break
+				}
+				end := start + chunk
+				if end > len(level) {
+					end = len(level)
+				}
+				emit := func(s ioa.State, key string, act ioa.Action) {
+					for _, nxt := range a.Next(s, act) {
+						nk := nxt.Key()
+						h := shardOf(nk, w)
+						if _, ok := shards[h][nk]; ok {
+							continue // discovered at an earlier level
+						}
+						c := crumb{state: nxt, parent: key, act: act, depth: depth}
+						if dedup {
+							if p, ok := local[nk]; ok {
+								if crumbLess(c, buckets[p.shard][p.idx]) {
+									buckets[p.shard][p.idx] = c
+								}
+								continue
+							}
+							local[nk] = pos{shard: h, idx: len(buckets[h])}
+						}
+						buckets[h] = append(buckets[h], c)
+					}
+				}
+				for _, s := range level[start:end] {
+					key := s.Key()
+					// Do not mutate the Enabled result: the memo layer
+					// may hand out a shared cached slice.
+					for _, act := range a.Enabled(s) {
+						emit(s, key, act)
+					}
+					for _, act := range inputs {
+						emit(s, key, act)
+					}
+				}
+			}
+			outboxes[wi] = buckets
+		}(wi)
+	}
+	wg.Wait()
+
+	// Per-shard merge: each shard's owner drains every worker's
+	// outbox for that shard, keeping the canonical (least) crumb per
+	// newly discovered key.
+	newPerShard := make([][]ioa.State, w)
+	for h := 0; h < w; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			seen := shards[h]
+			for wi := 0; wi < w; wi++ {
+				for _, c := range outboxes[wi][h] {
+					k := c.state.Key()
+					if prev, ok := seen[k]; ok {
+						if prev.depth == depth && crumbLess(c, prev) {
+							seen[k] = c
+						}
+						continue
+					}
+					seen[k] = c
+					newPerShard[h] = append(newPerShard[h], c.state)
+				}
+			}
+		}(h)
+	}
+	wg.Wait()
+
+	var next []ioa.State
+	for h := 0; h < w; h++ {
+		next = append(next, newPerShard[h]...)
+	}
+	sortStatesByKey(next)
+	return next
+}
+
+// checkLevel evaluates pred over a level in canonical order and turns
+// the first failure into a Violation with a crumb-chain witness.
+func checkLevel(a ioa.Automaton, shards []map[string]crumb, level []ioa.State, pred func(ioa.State) bool) (*Violation, error) {
+	for _, s := range level {
+		if pred(s) {
+			continue
+		}
+		trace, err := witnessFromCrumbs(a, shards, s)
+		if err != nil {
+			return nil, err
+		}
+		return &Violation{State: s, Trace: trace}, nil
+	}
+	return nil, nil
+}
+
+// witnessFromCrumbs rebuilds the canonical minimal-length execution
+// from a start state to target by following parent crumbs.
+func witnessFromCrumbs(a ioa.Automaton, shards []map[string]crumb, target ioa.State) (*ioa.Execution, error) {
+	var rev []crumb
+	key := target.Key()
+	for {
+		c, ok := shards[shardOf(key, len(shards))][key]
+		if !ok {
+			return nil, fmt.Errorf("explore: internal error: no crumb for state %q", key)
+		}
+		rev = append(rev, c)
+		if c.parent == "" {
+			break
+		}
+		key = c.parent
+	}
+	x := ioa.NewExecution(a, rev[len(rev)-1].state)
+	for i := len(rev) - 2; i >= 0; i-- {
+		x.Append(rev[i].act, rev[i].state)
+	}
+	return x, nil
+}
+
+// DeadlocksOpts is Deadlocks over the options-driven explorer.
+func DeadlocksOpts(a ioa.Automaton, opts Options) ([]ioa.State, error) {
+	states, err := ReachOpts(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	var out []ioa.State
+	for _, s := range states {
+		if len(a.Enabled(s)) == 0 {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package explore
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestOptionsResolution(t *testing.T) {
+	if got := (Options{}).workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("zero Workers resolved to %d, want GOMAXPROCS", got)
+	}
+	if got := (Options{Workers: 3}).workers(); got != 3 {
+		t.Errorf("Workers=3 resolved to %d", got)
+	}
+	if got := (Options{Workers: -1}).workers(); got != 1 {
+		t.Errorf("negative Workers resolved to %d, want 1", got)
+	}
+	if got := (Options{}).limit(); got != DefaultLimit {
+		t.Errorf("zero Limit resolved to %d, want DefaultLimit", got)
+	}
+	if got := (Options{Limit: 17}).limit(); got != 17 {
+		t.Errorf("Limit=17 resolved to %d", got)
+	}
+}
+
+func TestParallelCheckNilPred(t *testing.T) {
+	if _, err := ParallelCheck(nil, Options{}, nil); err == nil {
+		t.Fatal("nil predicate accepted")
+	}
+}
+
+func TestCrumbLess(t *testing.T) {
+	a := crumb{parent: "p1", act: "x"}
+	b := crumb{parent: "p2", act: "a"}
+	if !crumbLess(a, b) || crumbLess(b, a) {
+		t.Error("parent key must dominate")
+	}
+	c := crumb{parent: "p1", act: "y"}
+	if !crumbLess(a, c) || crumbLess(c, a) {
+		t.Error("action breaks parent ties")
+	}
+}
+
+func TestShardOfStable(t *testing.T) {
+	keys := []string{"", "a", "abc", string(make([]byte, 100))}
+	for _, k := range keys {
+		h := shardOf(k, 8)
+		if h < 0 || h >= 8 {
+			t.Fatalf("shardOf(%q, 8) = %d out of range", k, h)
+		}
+		if shardOf(k, 8) != h {
+			t.Fatalf("shardOf not deterministic for %q", k)
+		}
+	}
+}

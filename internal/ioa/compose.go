@@ -2,6 +2,7 @@ package ioa
 
 import (
 	"fmt"
+	"sync"
 )
 
 // A TupleState is a state of a composition: one component state per
@@ -32,13 +33,31 @@ func (t *TupleState) At(i int) State { return t.parts[i] }
 // Len returns the number of components.
 func (t *TupleState) Len() int { return len(t.parts) }
 
+// newTupleStateOwned builds a tuple state taking ownership of parts
+// (no defensive copy — callers must not retain the slice).
+func newTupleStateOwned(parts []State) *TupleState {
+	keys := make([]string, len(parts))
+	for i, p := range parts {
+		keys[i] = p.Key()
+	}
+	return &TupleState{parts: parts, key: JoinKeys(keys...)}
+}
+
 // with returns a copy of t with component i replaced by s.
 func (t *TupleState) with(updates map[int]State) *TupleState {
 	parts := append([]State(nil), t.parts...)
 	for i, s := range updates {
 		parts[i] = s
 	}
-	return NewTupleState(parts)
+	return newTupleStateOwned(parts)
+}
+
+// with1 returns a copy of t with only component i replaced — the
+// single-owner fast path of composite steps.
+func (t *TupleState) with1(i int, s State) *TupleState {
+	parts := append([]State(nil), t.parts...)
+	parts[i] = s
+	return newTupleStateOwned(parts)
 }
 
 // A Composite is the composition A = ∏ᵢAᵢ of compatible automata
@@ -56,6 +75,55 @@ type Composite struct {
 	who map[Action][]int
 	// classOwner[i] is the component index owning composite class i.
 	classOwner []int
+	// memo caches per-component transition and enabled-set results
+	// (one cache per component). Sound because Automaton requires
+	// Next/Enabled to be deterministic functions of their arguments;
+	// safe for concurrent exploration because each cache is sharded
+	// behind RW mutexes.
+	memo   []compMemo
+	memoOn bool
+}
+
+// memoShardCount shards each component cache to keep lock contention
+// low under parallel exploration.
+const memoShardCount = 16
+
+// compMemo is one component's transition/enabled cache.
+type compMemo struct {
+	shards [memoShardCount]memoShard
+}
+
+type memoShard struct {
+	mu sync.RWMutex
+	// next maps a component state key to its per-action successor
+	// lists (a present entry means "computed", even when empty).
+	next map[string]map[Action][]State
+	// enabled maps a component state key to the component's enabled
+	// locally-controlled actions, cached verbatim.
+	enabled map[string][]Action
+	// hasEnabled marks enabled-cache presence (the cached slice may
+	// legitimately be nil).
+	hasEnabled map[string]struct{}
+}
+
+// memoHash assigns a state key to a cache shard (FNV-1a over the last
+// 32 bytes — structured keys share long prefixes, so the tail carries
+// the entropy and bounding the scan keeps hashing O(1) on big states).
+func memoHash(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	start := 0
+	if len(key) > 32 {
+		start = len(key) - 32
+	}
+	h := uint32(offset32)
+	for i := start; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
 }
 
 var _ Automaton = (*Composite)(nil)
@@ -91,7 +159,93 @@ func Compose(name string, comps ...Automaton) (*Composite, error) {
 			owner = append(owner, i)
 		}
 	}
-	return &Composite{name: name, comps: comps, sig: sig, parts: parts, who: who, classOwner: owner}, nil
+	return &Composite{
+		name: name, comps: comps, sig: sig, parts: parts, who: who, classOwner: owner,
+		memo: make([]compMemo, len(comps)), memoOn: true,
+	}, nil
+}
+
+// SetMemo turns the per-component transition/enabled caches on or off
+// (on by default). Off reproduces the uncached seed behavior, e.g.
+// for benchmarking the cache itself. Not safe to toggle while other
+// goroutines are stepping the composite.
+func (c *Composite) SetMemo(on bool) { c.memoOn = on }
+
+// SetMemoDeep applies SetMemo to every Composite in the automaton
+// tree, descending through Hide/Rename wrappers and nested
+// compositions. Needed to benchmark a fully uncached system: a closed
+// system is a composition whose arbiter component is itself a
+// (renamed, hidden) composition with its own caches.
+func SetMemoDeep(a Automaton, on bool) {
+	switch w := a.(type) {
+	case *Composite:
+		w.SetMemo(on)
+		for _, c := range w.comps {
+			SetMemoDeep(c, on)
+		}
+	case *hidden:
+		SetMemoDeep(w.inner, on)
+	case *Renamed:
+		SetMemoDeep(w.inner, on)
+	}
+}
+
+// compNext is comp[i].Next(s, a) through the memo layer.
+func (c *Composite) compNext(i int, s State, a Action) []State {
+	if !c.memoOn {
+		return c.comps[i].Next(s, a)
+	}
+	key := s.Key()
+	sh := &c.memo[i].shards[memoHash(key)%memoShardCount]
+	sh.mu.RLock()
+	if row, ok := sh.next[key]; ok {
+		if out, ok := row[a]; ok {
+			sh.mu.RUnlock()
+			return out
+		}
+	}
+	sh.mu.RUnlock()
+	out := c.comps[i].Next(s, a)
+	sh.mu.Lock()
+	if sh.next == nil {
+		sh.next = make(map[string]map[Action][]State)
+	}
+	row, ok := sh.next[key]
+	if !ok {
+		row = make(map[Action][]State)
+		sh.next[key] = row
+	}
+	row[a] = out
+	sh.mu.Unlock()
+	return out
+}
+
+// compEnabled is comp[i].Enabled(s) through the memo layer. The
+// component's result is cached verbatim (same actions, same order),
+// so callers observe exactly the uncached behavior.
+func (c *Composite) compEnabled(i int, s State) []Action {
+	if !c.memoOn {
+		return c.comps[i].Enabled(s)
+	}
+	key := s.Key()
+	sh := &c.memo[i].shards[memoHash(key)%memoShardCount]
+	sh.mu.RLock()
+	if _, ok := sh.hasEnabled[key]; ok {
+		out := sh.enabled[key]
+		sh.mu.RUnlock()
+		return out
+	}
+	sh.mu.RUnlock()
+	out := c.comps[i].Enabled(s)
+	sh.mu.Lock()
+	if sh.enabled == nil {
+		sh.enabled = make(map[string][]Action)
+		sh.hasEnabled = make(map[string]struct{})
+	}
+	sh.enabled[key] = out
+	sh.hasEnabled[key] = struct{}{}
+	sh.mu.Unlock()
+	return out
 }
 
 // MustCompose is Compose but panics on error.
@@ -145,11 +299,26 @@ func (c *Composite) Next(s State, a Action) []State {
 	if len(owners) == 0 {
 		return nil
 	}
+	// Single-owner fast path: no cross product, no update maps. This
+	// is the common case (every non-shared action) and the hot path
+	// of exhaustive exploration.
+	if len(owners) == 1 {
+		i := owners[0]
+		next := c.compNext(i, ts.At(i), a)
+		if len(next) == 0 {
+			return nil
+		}
+		out := make([]State, len(next))
+		for k, nxt := range next {
+			out[k] = ts.with1(i, nxt)
+		}
+		return out
+	}
 	// Per-owner successor lists; if any owner cannot step, the
 	// composite cannot step.
 	choices := make([][]State, len(owners))
 	for k, i := range owners {
-		next := c.comps[i].Next(ts.At(i), a)
+		next := c.compNext(i, ts.At(i), a)
 		if len(next) == 0 {
 			return nil
 		}
@@ -188,8 +357,8 @@ func (c *Composite) Enabled(s State) []Action {
 		return nil
 	}
 	var out []Action
-	for i, comp := range c.comps {
-		out = append(out, comp.Enabled(ts.At(i))...)
+	for i := range c.comps {
+		out = append(out, c.compEnabled(i, ts.At(i))...)
 	}
 	return out
 }

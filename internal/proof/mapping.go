@@ -39,11 +39,20 @@ var ErrNotPossibilities = errors.New("proof: not a possibilities mapping")
 // automaton). For finite-state A and B this is a complete check; for
 // larger systems it is a bounded certification.
 func (h *PossMapping) Verify(limit int) error {
+	return h.VerifyOpts(explore.Options{Limit: limit})
+}
+
+// VerifyOpts is Verify with explicit exploration options: the two
+// reachability passes run through explore.ReachOpts, so a Workers
+// setting parallelizes the state-space construction. The mapping
+// conditions themselves are then checked sequentially over the
+// canonically ordered result.
+func (h *PossMapping) VerifyOpts(opts explore.Options) error {
 	if !h.A.Sig().External().Equal(h.B.Sig().External()) {
 		return fmt.Errorf("%w: external signatures differ:\n  A: %v\n  B: %v",
 			ErrNotPossibilities, h.A.Sig().External(), h.B.Sig().External())
 	}
-	reachB, err := explore.Reach(h.B, limit)
+	reachB, err := explore.ReachOpts(h.B, opts)
 	if err != nil {
 		return err
 	}
@@ -70,7 +79,7 @@ func (h *PossMapping) Verify(limit int) error {
 	}
 
 	// Condition 2, over reachable states of A.
-	reachA, err := explore.Reach(h.A, limit)
+	reachA, err := explore.ReachOpts(h.A, opts)
 	if err != nil {
 		return err
 	}
@@ -191,7 +200,14 @@ func CheckCorrespondence(x, y *ioa.Execution, b ioa.Automaton) error {
 // corresponding to an execution of A satisfying (S ↝ T).
 func (h *PossMapping) TransferDown(limit int, s func(ioa.State) bool, t func(ioa.Action) bool,
 	u func(ioa.State) bool, v func(ioa.Action) bool) error {
-	reachA, err := explore.Reach(h.A, limit)
+	return h.TransferDownOpts(explore.Options{Limit: limit}, s, t, u, v)
+}
+
+// TransferDownOpts is TransferDown with explicit exploration options
+// (see VerifyOpts).
+func (h *PossMapping) TransferDownOpts(opts explore.Options, s func(ioa.State) bool, t func(ioa.Action) bool,
+	u func(ioa.State) bool, v func(ioa.Action) bool) error {
+	reachA, err := explore.ReachOpts(h.A, opts)
 	if err != nil {
 		return err
 	}

@@ -52,6 +52,13 @@ func UnfairSatisfiesBounded(a, b ioa.Automaton, depth int) (bool, []ioa.Action, 
 //
 // The check explores at most limit states of each automaton.
 func FairSatisfiesViaMapping(h *PossMapping, limit int) error {
+	return FairSatisfiesViaMappingOpts(h, explore.Options{Limit: limit})
+}
+
+// FairSatisfiesViaMappingOpts is FairSatisfiesViaMapping with explicit
+// exploration options: both reachability passes run through
+// explore.ReachOpts, so a Workers setting parallelizes them.
+func FairSatisfiesViaMappingOpts(h *PossMapping, opts explore.Options) error {
 	partsA, partsB := h.A.Parts(), h.B.Parts()
 	// Partition containment: map each class of B to its containing
 	// class of A.
@@ -77,7 +84,7 @@ func FairSatisfiesViaMapping(h *PossMapping, limit int) error {
 		}
 	}
 
-	reachB, err := explore.Reach(h.B, limit)
+	reachB, err := explore.ReachOpts(h.B, opts)
 	if err != nil {
 		return err
 	}
@@ -85,7 +92,7 @@ func FairSatisfiesViaMapping(h *PossMapping, limit int) error {
 	for _, s := range reachB {
 		bReach[s.Key()] = struct{}{}
 	}
-	reachA, err := explore.Reach(h.A, limit)
+	reachA, err := explore.ReachOpts(h.A, opts)
 	if err != nil {
 		return err
 	}
@@ -160,8 +167,14 @@ func FairBehaviorsFinite(a ioa.Automaton, depth int) (*ioa.SchedModule, error) {
 // conclusion that the last object satisfies the first. It returns the
 // per-link verification errors, nil-free on success.
 func SatisfactionChain(limit int, links ...*PossMapping) error {
+	return SatisfactionChainOpts(explore.Options{Limit: limit}, links...)
+}
+
+// SatisfactionChainOpts is SatisfactionChain with explicit exploration
+// options applied to every link's verification.
+func SatisfactionChainOpts(opts explore.Options, links ...*PossMapping) error {
 	for i, h := range links {
-		if err := h.Verify(limit); err != nil {
+		if err := h.VerifyOpts(opts); err != nil {
 			return fmt.Errorf("link %d (%s → %s): %w", i, h.A.Name(), h.B.Name(), err)
 		}
 	}
