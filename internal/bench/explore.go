@@ -23,6 +23,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/ioa"
+	"repro/internal/testseed"
 )
 
 // ExploreRow is one measurement of the explore sweep.
@@ -55,6 +56,10 @@ type ExploreConfig struct {
 	// (default 3). Every repetition rebuilds the system so the memo
 	// caches start cold.
 	Reps int
+	// Now supplies the wall clock for timing rows (nil means
+	// testseed.Now, the repository's sanctioned accessor). Tests
+	// inject a fake clock to keep the sweep itself deterministic.
+	Now func() time.Time
 }
 
 // ExploreSystem builds the closed arbiter system at the given level
@@ -129,6 +134,10 @@ func exploreMeasure(level int, cfg ExploreConfig, mode string, workers int) (Exp
 	if reps <= 0 {
 		reps = 3
 	}
+	now := cfg.Now
+	if now == nil {
+		now = testseed.Now
+	}
 	for r := 0; r < reps; r++ {
 		a, err := ExploreSystem(level, cfg.Users)
 		if err != nil {
@@ -138,13 +147,13 @@ func exploreMeasure(level int, cfg ExploreConfig, mode string, workers int) (Exp
 			ioa.SetMemoDeep(a, false)
 		}
 		var states []ioa.State
-		start := time.Now()
+		start := now()
 		if mode == "parallel" {
 			states, err = explore.ParallelReach(a, explore.Options{Workers: workers, Limit: limit})
 		} else {
 			states, err = explore.Reach(a, limit)
 		}
-		elapsed := time.Since(start).Nanoseconds()
+		elapsed := now().Sub(start).Nanoseconds()
 		if err != nil {
 			if !errors.Is(err, explore.ErrLimit) {
 				return row, err

@@ -176,6 +176,7 @@ func Behaviors(a ioa.Automaton, depth int) (*ioa.SchedModule, error) {
 	}
 	list := make([][]ioa.Action, 0, len(traces))
 	for _, tr := range traces {
+		//lint:ignore nondet NewSchedModule keys schedules canonically; list order is unobservable
 		list = append(list, tr)
 	}
 	m, err := ioa.NewSchedModule(a.Sig().External(), list)
@@ -216,6 +217,7 @@ func Schedules(a ioa.Automaton, depth int) (*ioa.SchedModule, error) {
 	}
 	list := make([][]ioa.Action, 0, len(traces))
 	for _, tr := range traces {
+		//lint:ignore nondet NewSchedModule keys schedules canonically; list order is unobservable
 		list = append(list, tr)
 	}
 	return ioa.NewSchedModule(a.Sig(), list)

@@ -149,7 +149,9 @@ func CheckPartition(a Automaton) error {
 	local := a.Sig().Local()
 	seen := make(Set)
 	for _, c := range a.Parts() {
-		for act := range c.Actions {
+		// Sorted so a violation is reported deterministically when a
+		// class has several offending actions.
+		for _, act := range c.Actions.Sorted() {
 			if !local.Has(act) {
 				return fmt.Errorf("ioa: class %q contains non-local action %q of %s", c.Name, act, a.Name())
 			}

@@ -2,6 +2,7 @@ package ioa
 
 import (
 	"fmt"
+	"sort"
 )
 
 // A Mapping is an injective action mapping (§2.1.3). It is applicable
@@ -17,7 +18,10 @@ type Mapping struct {
 // an error if the mapping is not injective.
 func NewMapping(pairs map[Action]Action) (*Mapping, error) {
 	m := &Mapping{fwd: make(map[Action]Action, len(pairs)), bwd: make(map[Action]Action, len(pairs))}
-	for from, to := range pairs {
+	// Sorted so an injectivity failure names the same witness pair on
+	// every run.
+	for _, from := range sortedDomain(pairs) {
+		to := pairs[from]
 		if prev, dup := m.bwd[to]; dup && prev != from {
 			return nil, fmt.Errorf("ioa: mapping not injective: %q and %q both map to %q", prev, from, to)
 		}
@@ -25,6 +29,17 @@ func NewMapping(pairs map[Action]Action) (*Mapping, error) {
 		m.bwd[to] = from
 	}
 	return m, nil
+}
+
+// sortedDomain returns the keys of an action map in lexicographic
+// order, for deterministic iteration.
+func sortedDomain(pairs map[Action]Action) []Action {
+	keys := make([]Action, 0, len(pairs))
+	for from := range pairs {
+		keys = append(keys, from)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // MustMapping is NewMapping but panics on error.
@@ -66,7 +81,8 @@ func (m *Mapping) ApplySeq(seq []Action) []Action {
 // with an unmapped action that maps to itself.
 func (m *Mapping) applicable(acts Set) error {
 	seen := make(map[Action]Action, len(acts))
-	for a := range acts {
+	// Sorted so a violation names the same witness pair on every run.
+	for _, a := range acts.Sorted() {
 		to := m.Apply(a)
 		if prev, dup := seen[to]; dup {
 			return fmt.Errorf("ioa: mapping not injective on object actions: %q and %q both map to %q", prev, a, to)
@@ -164,7 +180,9 @@ func (r *Renamed) Mapping() *Mapping { return r.m }
 func ComposeMappings(ms ...*Mapping) (*Mapping, error) {
 	pairs := make(map[Action]Action)
 	for _, m := range ms {
-		for from, to := range m.fwd {
+		// Sorted so a conflict names the same witness pair on every run.
+		for _, from := range sortedDomain(m.fwd) {
+			to := m.fwd[from]
 			if prev, dup := pairs[from]; dup && prev != to {
 				return nil, fmt.Errorf("ioa: mappings conflict on %q (%q vs %q)", from, prev, to)
 			}

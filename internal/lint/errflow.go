@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errflow flags discarded error returns in internal/proof and
+// internal/explore. Those packages are the trust base of the
+// repository — a swallowed error there turns "the possibilities
+// mapping was verified" into "the verifier crashed quietly" — so
+// every error must be handled, returned, or explicitly suppressed
+// with a //lint:ignore carrying a reason.
+//
+// Two discard shapes are reported: a call statement whose results
+// include an error (including deferred and go-spawned calls), and an
+// assignment of an error to the blank identifier. fmt.Fprint* into an
+// in-memory *strings.Builder or *bytes.Buffer is exempt: those
+// writers are documented never to fail.
+type errflow struct{}
+
+func init() { Register(errflow{}) }
+
+func (errflow) Name() string { return "errflow" }
+
+func (errflow) Doc() string {
+	return "discarded error returns in internal/proof and internal/explore"
+}
+
+// errflowPkgs are the internal path segments the analyzer covers.
+var errflowPkgs = map[string]bool{"proof": true, "explore": true}
+
+func (errflow) Run(p *Pass) {
+	if !errflowPkgs[internalSegment(p.Pkg.Path)] {
+		return
+	}
+	checkCall := func(call *ast.CallExpr) {
+		if !returnsError(p, call) || inMemoryWrite(p, call) {
+			return
+		}
+		name := "call"
+		if fn := p.CalleeFunc(call); fn != nil {
+			name = fn.Name()
+		}
+		p.Reportf(call.Pos(), "result of %s includes an error that is discarded; handle it or suppress with a reason", name)
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkCall(call)
+				}
+			case *ast.DeferStmt:
+				checkCall(n.Call)
+			case *ast.GoStmt:
+				checkCall(n.Call)
+			case *ast.AssignStmt:
+				checkBlankError(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of the call is of type
+// error.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// inMemoryWrite reports writes that cannot fail: fmt.Fprint* into a
+// *strings.Builder or *bytes.Buffer, and the Write* methods of those
+// two types (their error results exist only to satisfy io interfaces).
+func inMemoryWrite(p *Pass, call *ast.CallExpr) bool {
+	fn := p.CalleeFunc(call)
+	if fn == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return isInMemoryWriter(sig.Recv().Type())
+		}
+		return false
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Fprint", "Fprintf", "Fprintln":
+	default:
+		return false
+	}
+	return len(call.Args) > 0 && isInMemoryWriter(p.TypeOf(call.Args[0]))
+}
+
+// isInMemoryWriter reports whether t is *strings.Builder or
+// *bytes.Buffer.
+func isInMemoryWriter(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// checkBlankError flags `_ = f()` and `v, _ := g()` where the blank
+// slot holds an error.
+func checkBlankError(p *Pass, assign *ast.AssignStmt) {
+	blankAt := func(i int) bool {
+		id, ok := assign.Lhs[i].(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		tuple, ok := p.TypeOf(assign.Rhs[0]).(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i := 0; i < tuple.Len() && i < len(assign.Lhs); i++ {
+			if blankAt(i) && isErrorType(tuple.At(i).Type()) {
+				p.Reportf(assign.Lhs[i].Pos(), "error assigned to _ ; handle it or suppress with a reason")
+			}
+		}
+		return
+	}
+	if len(assign.Rhs) != len(assign.Lhs) {
+		return
+	}
+	for i := range assign.Lhs {
+		if blankAt(i) && isErrorType(p.TypeOf(assign.Rhs[i])) {
+			p.Reportf(assign.Lhs[i].Pos(), "error assigned to _ ; handle it or suppress with a reason")
+		}
+	}
+}

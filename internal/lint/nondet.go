@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// nondet flags sources of run-to-run nondeterminism in production
+// code: wall-clock reads (time.Now), uses of the global math/rand
+// source (whose sequence depends on process-global state), and map
+// iteration whose order leaks into an appended slice, a channel, or a
+// printed trace. The determinism guarantee of the parallel explorer —
+// bit-identical results at any worker count — rests on these
+// conventions, so the analyzer makes them mechanical.
+//
+// internal/testseed is exempt: it is the repository's single
+// sanctioned gateway for seeds and wall-clock readings. The
+// map-iteration check applies only to the trace-producing packages
+// internal/{ioa,explore,sim,bench,graph}; elsewhere map order is
+// allowed to vary as long as it never reaches an output.
+type nondet struct{}
+
+func init() { Register(nondet{}) }
+
+func (nondet) Name() string { return "nondet" }
+
+func (nondet) Doc() string {
+	return "flags time.Now, global math/rand calls, and map-iteration order leaking into traces"
+}
+
+// tracePkgs are the internal packages whose outputs must be
+// bit-identical across runs and worker counts.
+var tracePkgs = map[string]bool{
+	"ioa": true, "explore": true, "sim": true, "bench": true, "graph": true,
+}
+
+// randConstructors are the package-level math/rand functions that do
+// NOT touch the global source (they build or seed explicit ones).
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func (nondet) Run(p *Pass) {
+	if internalSegment(p.Pkg.Path) == "testseed" {
+		return
+	}
+	checkRanges := tracePkgs[internalSegment(p.Pkg.Path)]
+	for _, f := range p.Pkg.Files {
+		sorted := collectSortCalls(p, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := p.CalleeFunc(n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if fn.Name() == "Now" && fn.Type().(*types.Signature).Recv() == nil {
+						p.Reportf(n.Pos(), "time.Now makes runs irreproducible; inject a clock or route through internal/testseed")
+					}
+				case "math/rand", "math/rand/v2":
+					if fn.Type().(*types.Signature).Recv() == nil && !randConstructors[fn.Name()] {
+						p.Reportf(n.Pos(), "%s.%s draws from the process-global random source; use a seeded *rand.Rand (e.g. from internal/testseed)",
+							fn.Pkg().Path(), fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if checkRanges {
+					checkMapRange(p, n, sorted)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collectSortCalls records, per slice object, the positions of
+// sort.*/slices.Sort* calls on it within the file. An append inside a
+// map range is exempt when the collected slice is sorted afterwards —
+// the canonical collect-then-sort idiom erases iteration order.
+func collectSortCalls(p *Pass, f *ast.File) map[types.Object][]token.Pos {
+	out := make(map[types.Object][]token.Pos)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := p.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		if obj := sliceObj(p, call.Args[0]); obj != nil {
+			out[obj] = append(out[obj], call.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+// sliceObj resolves the object a slice expression names: a variable,
+// or the field object of a selector.
+func sliceObj(p *Pass, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return p.objectOf(x)
+	case *ast.SelectorExpr:
+		return p.objectOf(x.Sel)
+	}
+	return nil
+}
+
+// checkMapRange flags statements inside a range-over-map body where an
+// iteration variable flows into an appended value, a channel send, or
+// a print call — the three ways unspecified map order becomes an
+// observable trace. Appends into a slice that a later sort call
+// canonicalizes are exempt; anything else order-insensitive carries a
+// //lint:ignore with its reason.
+func checkMapRange(p *Pass, rng *ast.RangeStmt, sorted map[types.Object][]token.Pos) {
+	t := p.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	iterVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := p.objectOf(id); obj != nil {
+			iterVars[obj] = true
+		}
+	}
+	if len(iterVars) == 0 {
+		return
+	}
+	usesIter := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && iterVars[p.Pkg.Info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, builtin := p.Pkg.Info.Uses[id].(*types.Builtin); builtin && id.Name == "append" {
+					if len(n.Args) > 0 {
+						if obj := sliceObj(p, n.Args[0]); obj != nil {
+							for _, pos := range sorted[obj] {
+								if pos > rng.End() {
+									return true // collected slice is sorted afterwards
+								}
+							}
+						}
+					}
+					for _, arg := range n.Args[1:] {
+						if usesIter(arg) {
+							p.Reportf(n.Pos(), "map iteration order flows into append; iterate sorted keys or sort the result")
+							break
+						}
+					}
+					return true
+				}
+			}
+			if fn := p.CalleeFunc(n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				for _, arg := range n.Args {
+					if usesIter(arg) {
+						p.Reportf(n.Pos(), "map iteration order flows into fmt.%s output; iterate sorted keys", fn.Name())
+						break
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if usesIter(n.Value) {
+				p.Reportf(n.Pos(), "map iteration order flows into a channel send; iterate sorted keys")
+			}
+		}
+		return true
+	})
+}

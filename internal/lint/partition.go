@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// partition statically checks action-partition well-formedness at
+// builder call sites (§2.1: part(A) partitions the locally-controlled
+// actions; input actions are never members of a fairness class).
+// Build and NewTable enforce this at runtime; the analyzer moves the
+// rejection to the lint pass for the cases it can decide from the
+// AST:
+//
+//   - Def chains: every Output/Internal registration must name a
+//     non-empty partition class, and no action literal may be
+//     registered twice in one chain (which includes registering the
+//     same action as both an input and a locally-controlled action —
+//     i.e. placing an input in a class).
+//   - NewTable/MustTable calls whose signature and partition are
+//     built from literals: the classes must cover exactly the
+//     locally-controlled actions, and no input action may appear in a
+//     class.
+//
+// Non-literal call sites (actions computed at runtime) are outside
+// the analyzer's reach and remain covered by the dynamic checks.
+type partition struct{}
+
+func init() { Register(partition{}) }
+
+func (partition) Name() string { return "partition" }
+
+func (partition) Doc() string {
+	return "builder call sites must put every local action in a named class and no input in any class"
+}
+
+// defKinds classifies builder methods for the duplicate check.
+var defKinds = map[string]string{
+	"Input":      "input",
+	"InputND":    "input",
+	"Output":     "output",
+	"OutputND":   "output",
+	"Internal":   "internal",
+	"InternalND": "internal",
+}
+
+// classArgMethods maps the locally-controlled registration methods to
+// the index of their class-name argument.
+var classArgMethods = map[string]int{
+	"Output": 1, "OutputND": 1, "Internal": 1, "InternalND": 1,
+}
+
+func (partition) Run(p *Pass) {
+	type reg struct {
+		kind string
+		pos  ast.Node
+	}
+	// chains groups registrations by builder chain root so duplicates
+	// within one definition are caught across chained and statement
+	// forms alike.
+	chains := make(map[string]map[string][]reg) // root key -> action -> regs
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := p.CalleeFunc(call); fn != nil {
+				if name, ok := isIoaDefMethod(fn); ok {
+					if kind := defKinds[name]; kind != "" && len(call.Args) > 0 {
+						if idx, needsClass := classArgMethods[name]; needsClass && idx < len(call.Args) {
+							if s, ok := constString(p, call.Args[idx]); ok && s == "" {
+								p.Reportf(call.Args[idx].Pos(), "empty partition class name: every locally-controlled action must be assigned to a named class")
+							}
+						}
+						if act, ok := constString(p, call.Args[0]); ok {
+							root := chainRoot(p, call)
+							if chains[root] == nil {
+								chains[root] = make(map[string][]reg)
+							}
+							chains[root][act] = append(chains[root][act], reg{kind: kind, pos: call})
+						}
+					}
+				}
+				if isIoaFunc(fn, "NewTable") || isIoaFunc(fn, "MustTable") {
+					checkTableCall(p, f, call)
+				}
+			}
+			return true
+		})
+	}
+	for _, actions := range chains {
+		for act, regs := range actions {
+			if len(regs) < 2 {
+				continue
+			}
+			for _, r := range regs[1:] {
+				if r.kind != regs[0].kind {
+					p.Reportf(r.pos.Pos(), "action %q registered as both %s and %s in one builder chain: an input action must not join a partition class", act, regs[0].kind, r.kind)
+				} else {
+					p.Reportf(r.pos.Pos(), "action %q registered twice in one builder chain", act)
+				}
+			}
+		}
+	}
+}
+
+// chainRoot identifies the Def a builder call ultimately applies to:
+// the object of the receiver identifier, or the position of the
+// NewDef call heading a method chain.
+func chainRoot(p *Pass, call *ast.CallExpr) string {
+	for {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return p.Pkg.Fset.Position(call.Pos()).String()
+		}
+		switch recv := ast.Unparen(sel.X).(type) {
+		case *ast.Ident:
+			if obj := p.Pkg.Info.Uses[recv]; obj != nil {
+				return p.Pkg.Fset.Position(obj.Pos()).String()
+			}
+			return recv.Name
+		case *ast.CallExpr:
+			call = recv
+		default:
+			return p.Pkg.Fset.Position(call.Pos()).String()
+		}
+	}
+}
+
+// isIoaFunc reports whether fn is the named package-level function of
+// internal/ioa.
+func isIoaFunc(fn *types.Func, name string) bool {
+	if fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return internalSegment(fn.Pkg().Path()) == "ioa"
+}
+
+// constString extracts a compile-time string constant value.
+func constString(p *Pass, e ast.Expr) (string, bool) {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// checkTableCall validates a NewTable/MustTable call whose signature
+// and partition are fully literal. Argument layout:
+// NewTable(name, sig, start, steps, parts).
+func checkTableCall(p *Pass, file *ast.File, call *ast.CallExpr) {
+	if len(call.Args) < 5 {
+		return
+	}
+	in, out, internal, sigOK := literalSignature(p, file, call.Args[1])
+	parts, partsOK := literalClasses(p, call.Args[4])
+	if !sigOK || !partsOK {
+		return
+	}
+	covered := make(map[string]bool)
+	for _, cl := range parts {
+		for _, act := range cl.actions {
+			if in[act] {
+				p.Reportf(cl.pos.Pos(), "input action %q must not appear in a partition class (part(A) covers only locally-controlled actions)", act)
+				continue
+			}
+			if !out[act] && !internal[act] {
+				p.Reportf(cl.pos.Pos(), "action %q in a partition class is not a locally-controlled action of the signature", act)
+				continue
+			}
+			if covered[act] {
+				p.Reportf(cl.pos.Pos(), "action %q appears in two partition classes", act)
+			}
+			covered[act] = true
+		}
+	}
+	for _, set := range []map[string]bool{out, internal} {
+		for act := range set {
+			if !covered[act] {
+				p.Reportf(call.Pos(), "locally-controlled action %q is not assigned to any partition class", act)
+			}
+		}
+	}
+}
+
+type literalClass struct {
+	actions []string
+	pos     ast.Node
+}
+
+// literalSignature extracts the three constant action sets from a
+// signature expression: a direct NewSignature/MustSignature call with
+// literal slices, or an identifier defined from one in the same file.
+func literalSignature(p *Pass, file *ast.File, e ast.Expr) (in, out, internal map[string]bool, ok bool) {
+	call := resolveCall(p, file, e)
+	if call == nil {
+		return nil, nil, nil, false
+	}
+	fn := p.CalleeFunc(call)
+	if fn == nil || (!isIoaFunc(fn, "NewSignature") && !isIoaFunc(fn, "MustSignature")) || len(call.Args) != 3 {
+		return nil, nil, nil, false
+	}
+	sets := make([]map[string]bool, 3)
+	for i, arg := range call.Args {
+		set, setOK := literalActionSlice(p, arg)
+		if !setOK {
+			return nil, nil, nil, false
+		}
+		sets[i] = set
+	}
+	return sets[0], sets[1], sets[2], true
+}
+
+// resolveCall returns e as a call expression, following one level of
+// identifier indirection to a same-file := definition.
+func resolveCall(p *Pass, file *ast.File, e ast.Expr) *ast.CallExpr {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return x
+	case *ast.Ident:
+		obj := p.Pkg.Info.Uses[x]
+		if obj == nil {
+			return nil
+		}
+		var found *ast.CallExpr
+		ast.Inspect(file, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || found != nil {
+				return found == nil
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || p.Pkg.Info.Defs[id] != obj {
+					continue
+				}
+				if len(assign.Rhs) == len(assign.Lhs) {
+					if call, ok := ast.Unparen(assign.Rhs[i]).(*ast.CallExpr); ok {
+						found = call
+					}
+				} else if len(assign.Rhs) == 1 && i == 0 {
+					// sig, err := NewSignature(...)
+					if call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr); ok {
+						found = call
+					}
+				}
+			}
+			return found == nil
+		})
+		return found
+	}
+	return nil
+}
+
+// literalActionSlice extracts constant strings from a nil literal or a
+// []Action{...} composite of constants.
+func literalActionSlice(p *Pass, e ast.Expr) (map[string]bool, bool) {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+		return map[string]bool{}, true
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return nil, false
+	}
+	set := make(map[string]bool)
+	for _, elt := range lit.Elts {
+		s, ok := constString(p, elt)
+		if !ok {
+			return nil, false
+		}
+		set[s] = true
+	}
+	return set, true
+}
+
+// literalClasses extracts constant class contents from a []Class{...}
+// literal whose Actions fields are NewSet(...) calls or Set literals
+// of constants.
+func literalClasses(p *Pass, e ast.Expr) ([]literalClass, bool) {
+	lit, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok {
+		return nil, false
+	}
+	var out []literalClass
+	for _, elt := range lit.Elts {
+		cl, ok := ast.Unparen(elt).(*ast.CompositeLit)
+		if !ok {
+			return nil, false
+		}
+		c := literalClass{pos: cl}
+		for _, field := range cl.Elts {
+			kv, ok := field.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || key.Name != "Actions" {
+				continue
+			}
+			call, ok := ast.Unparen(kv.Value).(*ast.CallExpr)
+			if !ok {
+				return nil, false
+			}
+			fn := p.CalleeFunc(call)
+			if fn == nil || !isIoaFunc(fn, "NewSet") {
+				return nil, false
+			}
+			for _, arg := range call.Args {
+				s, ok := constString(p, arg)
+				if !ok {
+					return nil, false
+				}
+				c.actions = append(c.actions, s)
+			}
+		}
+		out = append(out, c)
+	}
+	return out, true
+}

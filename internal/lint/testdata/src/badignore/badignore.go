@@ -1,0 +1,7 @@
+// Package badignore carries a malformed suppression directive: the
+// analyzer list is present but the mandatory reason is missing, so
+// the pseudo-analyzer "lint" must report the directive itself.
+package badignore
+
+//lint:ignore nondet
+func noop() {}

@@ -1,0 +1,25 @@
+// Package errflowneg handles every error it produces, writes only to
+// in-memory writers whose error results cannot fire, and suppresses
+// one deliberate discard with a reason. The golden test loads it
+// under repro/internal/proof/errflowneg and expects zero diagnostics.
+package errflowneg
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func handled() (string, error) {
+	if err := mayFail(); err != nil {
+		return "", fmt.Errorf("step: %w", err)
+	}
+	var b strings.Builder
+	b.WriteString("ok")      // Builder writes cannot fail
+	fmt.Fprintf(&b, "%d", 1) // Fprintf into memory cannot fail
+	//lint:ignore errflow fixture demonstrates sanctioned suppression
+	mayFail()
+	return b.String(), nil
+}

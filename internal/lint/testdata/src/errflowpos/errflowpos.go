@@ -1,0 +1,21 @@
+// Package errflowpos discards errors in every shape the errflow
+// analyzer reports: a bare call statement, a deferred call, a
+// go-spawned call, and blank-identifier assignments. The golden test
+// loads it under the synthetic path repro/internal/proof/errflowpos
+// so the proof/explore scoping applies.
+package errflowpos
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func step() (int, error) { return 0, errors.New("boom") }
+
+func run() int {
+	mayFail()       // want "result of mayFail includes an error that is discarded"
+	defer mayFail() // want "result of mayFail includes an error that is discarded"
+	go mayFail()    // want "result of mayFail includes an error that is discarded"
+	_ = mayFail()   // want "error assigned to _"
+	n, _ := step()  // want "error assigned to _"
+	return n
+}

@@ -1,0 +1,34 @@
+// Package lockcopyneg handles mutex-bearing shards only by pointer
+// or as fresh composite literals — none of which copies a lock. The
+// golden test expects zero diagnostics.
+package lockcopyneg
+
+import "sync"
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+type cache struct {
+	shards []*shard
+}
+
+func newCache(n int) *cache {
+	c := &cache{}
+	for i := 0; i < n; i++ {
+		c.shards = append(c.shards, &shard{m: make(map[string]int)})
+	}
+	return c
+}
+
+func get(c *cache, i int, key string) int {
+	s := c.shards[i]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[key]
+}
+
+func reset(c *cache, i int) {
+	c.shards[i] = &shard{m: make(map[string]int)}
+}

@@ -1,0 +1,32 @@
+// Package lockcopypos copies a mutex-bearing shard struct by value in
+// every position the lockcopy analyzer checks: assignment, call
+// argument, by-value parameter and result declarations, range
+// clauses, and returns.
+package lockcopypos
+
+import "sync"
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+type cache struct {
+	shards [4]shard
+}
+
+func use(s shard) int { // want "parameter of type shard declared by value"
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+func snapshot(c *cache) shard { // want "result of type shard declared by value"
+	s := c.shards[0] // want "assignment copies shard by value"
+	total := use(s)  // want "call passes shard by value"
+	_ = total
+	for _, sh := range &c.shards { // want "range clause copies shard elements by value"
+		_ = sh.m
+	}
+	return c.shards[1] // want "return copies shard by value"
+}

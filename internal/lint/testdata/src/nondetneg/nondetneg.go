@@ -1,0 +1,36 @@
+// Package nondetneg holds the sanctioned counterparts of every
+// nondet violation: seeded generators, the collect-then-sort idiom,
+// and an inline suppression with a reason. The golden test loads it
+// under repro/internal/sim/nondetneg (a trace package) and expects
+// zero diagnostics.
+package nondetneg
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// seeded draws from an explicit source; rand.New and rand.NewSource
+// are constructors, not uses of the global source.
+func seeded() int {
+	r := rand.New(rand.NewSource(7))
+	return r.Intn(6)
+}
+
+// keys collects map keys and sorts them afterwards, erasing the
+// iteration order before it can be observed.
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stamp demonstrates a justified, explicitly suppressed clock read.
+func stamp() int64 {
+	//lint:ignore nondet fixture demonstrates sanctioned suppression
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,31 @@
+// Package nondetpos seeds every nondet violation class: wall-clock
+// reads, draws from the global math/rand source, and map iteration
+// order leaking into an append, a print, and a channel send. The
+// golden test loads it under the synthetic path
+// repro/internal/sim/nondetpos so the map-range check applies; CI
+// loads it under its real testdata path to prove ioalint can fail.
+package nondetpos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now makes runs irreproducible"
+}
+
+func draw() int {
+	return rand.Intn(6) // want "process-global random source"
+}
+
+func leak(m map[string]int, sink chan string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "map iteration order flows into append"
+		fmt.Println(k)       // want "map iteration order flows into fmt.Println"
+		sink <- k            // want "map iteration order flows into a channel send"
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+// Package partitionneg holds well-formed builder and table call
+// sites: every locally-controlled action is in exactly one named
+// class and no input joins a class. The golden test expects zero
+// diagnostics.
+package partitionneg
+
+import "repro/internal/ioa"
+
+func pre(ioa.State) bool        { return true }
+func eff(s ioa.State) ioa.State { return s }
+
+func chainGood() {
+	d := ioa.NewDef("good")
+	d.Start(ioa.KeyState("s0"))
+	d.Input("req", eff)
+	d.Output("grant", "work", pre, eff)
+	d.Internal("tick", "work", pre, eff)
+}
+
+func tableGood() {
+	sig := ioa.MustSignature(
+		[]ioa.Action{"poke"},
+		[]ioa.Action{"emit"},
+		[]ioa.Action{"tock"},
+	)
+	_, _ = ioa.NewTable("good", sig,
+		[]ioa.State{ioa.KeyState("s0")}, nil,
+		[]ioa.Class{
+			{Name: "c1", Actions: ioa.NewSet("emit")},
+			{Name: "c2", Actions: ioa.NewSet("tock")},
+		})
+}

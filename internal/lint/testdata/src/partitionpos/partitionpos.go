@@ -1,0 +1,39 @@
+// Package partitionpos seeds every partition violation the analyzer
+// decides statically: an empty class name, a doubly-registered
+// action, an action registered as both input and locally-controlled,
+// and a literal NewTable call whose classes contain an input, a
+// non-signature action, a duplicate membership, and fail to cover a
+// local action.
+package partitionpos
+
+import "repro/internal/ioa"
+
+func pre(ioa.State) bool        { return true }
+func eff(s ioa.State) ioa.State { return s }
+
+func chainBad() {
+	d := ioa.NewDef("bad")
+	d.Start(ioa.KeyState("s0"))
+	d.Input("req", eff)
+	d.Output("grant", "work", pre, eff)
+	d.Output("grant", "work", pre, eff) // want "registered twice in one builder chain"
+	d.Internal("req", "tick", pre, eff) // want "registered as both input and internal"
+
+	e := ioa.NewDef("empty")
+	e.Start(ioa.KeyState("s0"))
+	e.Output("emit", "", pre, eff) // want "empty partition class name"
+}
+
+func tableBad() {
+	sig := ioa.MustSignature(
+		[]ioa.Action{"poke"},
+		[]ioa.Action{"emit", "lost"},
+		nil,
+	)
+	_, _ = ioa.NewTable("bad", sig, // want "locally-controlled action .lost. is not assigned to any partition class"
+		[]ioa.State{ioa.KeyState("s0")}, nil,
+		[]ioa.Class{
+			{Name: "c1", Actions: ioa.NewSet("emit", "poke")},  // want "input action .poke. must not appear in a partition class"
+			{Name: "c2", Actions: ioa.NewSet("emit", "ghost")}, // want "appears in two partition classes" "is not a locally-controlled action"
+		})
+}

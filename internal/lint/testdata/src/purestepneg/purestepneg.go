@@ -1,0 +1,43 @@
+// Package purestepneg registers transition functions that stay pure:
+// direct field writes land on a value copy, and map writes happen
+// only after the map itself has been cloned, severing the alias to
+// the original state. The golden test expects zero diagnostics.
+package purestepneg
+
+import "repro/internal/ioa"
+
+type st struct {
+	n int
+	m map[string]int
+}
+
+func (s st) Key() string { return "st" }
+
+// clone copies the state deeply enough that the map no longer aliases
+// the original.
+func clone(s st) st {
+	m2 := make(map[string]int, len(s.m))
+	for k, v := range s.m {
+		m2[k] = v
+	}
+	s.m = m2
+	return s
+}
+
+func build() *ioa.Prog {
+	return ioa.NewDef("good").
+		Start(st{m: map[string]int{}}).
+		Input("in", func(s ioa.State) ioa.State {
+			v := s.(st)
+			v.n++ // direct field write lands on the copy
+			return v
+		}).
+		Output("out", "c",
+			func(s ioa.State) bool { return s.(st).n > 0 },
+			func(s ioa.State) ioa.State {
+				v := clone(s.(st))
+				v.m["hits"]++ // fresh map: clone severed the alias
+				return v
+			}).
+		MustBuild()
+}

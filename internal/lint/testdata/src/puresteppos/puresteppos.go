@@ -1,0 +1,45 @@
+// Package puresteppos registers transition functions that mutate
+// their incoming state in every way the purestep taint pass tracks: a
+// write through a pointer-asserted alias, a write through the map
+// field of a value copy, and a builtin delete on such a map.
+package puresteppos
+
+import "repro/internal/ioa"
+
+type st struct {
+	n int
+	m map[string]int
+}
+
+func (s st) Key() string { return "st" }
+
+type box struct{ n int }
+
+func (b *box) Key() string { return "box" }
+
+func build() *ioa.Prog {
+	return ioa.NewDef("bad").
+		Start(st{m: map[string]int{}}).
+		Input("in", func(s ioa.State) ioa.State {
+			v := s.(st)
+			v.m["hits"]++ // want "mutates its state argument"
+			return v
+		}).
+		Internal("step", "c", func(s ioa.State) bool { return true },
+			func(s ioa.State) ioa.State {
+				v := s.(st)
+				delete(v.m, "hits") // want "mutates its state argument"
+				return v
+			}).
+		Output("out", "c", okPre, effMutate).
+		MustBuild()
+}
+
+func okPre(s ioa.State) bool { return s.(*box).n > 0 }
+
+// effMutate writes through a pointer alias of the original state.
+func effMutate(s ioa.State) ioa.State {
+	pb := s.(*box)
+	pb.n = 1 // want "mutates its state argument"
+	return pb
+}

@@ -1,5 +1,7 @@
 // Package testseed gives every randomized test in the repository a
-// single, logged seed source. The base seed comes from the REPRO_SEED
+// single, logged seed source, and is the one sanctioned gateway for
+// environmental nondeterminism (the ioalint nondet analyzer exempts
+// only this package). The base seed comes from the REPRO_SEED
 // environment variable (default 0), so the whole suite is
 // deterministic by default and any failure can be replayed exactly
 // with REPRO_SEED=<n> go test. Tests derive their generators from the
@@ -12,7 +14,17 @@ import (
 	"strconv"
 	"testing"
 	"testing/quick"
+	"time"
 )
+
+// Now returns the current wall-clock reading. It is the repository's
+// single sanctioned wall-clock accessor: production code that must
+// measure real elapsed time (the bench sweeps) takes an injectable
+// clock defaulting to this function, so the nondet analyzer can
+// guarantee statically that no other wall-clock read exists. The
+// returned Time carries a monotonic reading, so Sub is safe for
+// interval measurement.
+func Now() time.Time { return time.Now() }
 
 // Base returns the repository-wide test seed — the value of
 // REPRO_SEED, default 0 — and logs it so a failing run's output
