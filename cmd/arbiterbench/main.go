@@ -7,12 +7,18 @@
 // It also measures the exploration engine itself: the -explore sweep
 // times sequential (cached and uncached) against parallel sharded
 // reachability on the closed arbiter levels 1–3 and can emit the rows
-// as JSON (BENCH_explore.json) with -explore-out.
+// as JSON (BENCH_explore.json) with -explore-out. The -obs-bench sweep
+// prices the observability layer (E17): parallel reachability with
+// observability off (the nil fast path) versus fully on, emitted as
+// JSON (BENCH_obs.json) with -obs-bench-out. -obs-addr serves live
+// expvar and pprof endpoints for the duration of any run.
 //
 // Usage:
 //
 //	arbiterbench [-b bound] [-seed n] [-max n] [-quick] [-workers n]
 //	             [-explore] [-explore-users n] [-explore-out file]
+//	             [-obs-bench] [-obs-users n] [-obs-bench-out file]
+//	             [-obs-addr host:port]
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -38,8 +45,46 @@ func main() {
 		exploreRun   = flag.Bool("explore", false, "run the serial-vs-parallel reachability sweep and exit")
 		exploreUsers = flag.Int("explore-users", 6, "users per arbiter instance in the -explore sweep")
 		exploreOut   = flag.String("explore-out", "", "write -explore rows as JSON to this file")
+		obsBench     = flag.Bool("obs-bench", false, "run the observability-overhead sweep and exit")
+		obsUsers     = flag.Int("obs-users", 3, "users per arbiter instance in the -obs-bench sweep")
+		obsOut       = flag.String("obs-bench-out", "", "write -obs-bench rows as JSON to this file")
+		obsAddr      = flag.String("obs-addr", "", "serve live expvar + pprof debug endpoints on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	if *obsAddr != "" {
+		addr, stop, err := obs.Serve(*obsAddr)
+		if err != nil {
+			log.Fatalf("obs: %v", err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				log.Printf("obs: %v", err)
+			}
+		}()
+		fmt.Printf("obs: serving http://%s/debug/vars and /debug/pprof/\n", addr)
+	}
+
+	if *obsBench {
+		rows, err := bench.ObsSweep(bench.ObsConfig{Users: *obsUsers, Workers: 2, Reps: 3})
+		if err != nil {
+			log.Fatalf("obs sweep: %v", err)
+		}
+		bench.PrintObs(os.Stdout, rows)
+		if *obsOut != "" {
+			f, err := os.Create(*obsOut)
+			if err != nil {
+				log.Fatalf("obs out: %v", err)
+			}
+			if err := bench.WriteObsJSON(f, rows); err != nil {
+				log.Fatalf("obs out: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("obs out: %v", err)
+			}
+		}
+		return
+	}
 
 	if *exploreRun {
 		rows, err := bench.ExploreSweep(bench.ExploreConfig{Users: *exploreUsers, Reps: 3})

@@ -9,6 +9,7 @@
 //	       [-steps n] [-policy rr|random] [-seed n] [-users n]
 //	       [-faults drop=0.1,dup=0.05,delay=3] [-fault-seed n]
 //	       [-trace] [-json] [-dot] [-reach] [-workers n] [-limit n]
+//	       [-obs-addr host:port] [-trace-out file] [-metrics-out file]
 //
 // The -reach flag explores the system's reachable state space instead
 // of simulating it, reporting the state count and deadlocks; -workers
@@ -25,9 +26,21 @@
 // fault classes are drop (loss rate), dup (duplication rate), and
 // delay (reordering bound; tolerated by neither variant — the
 // alternating-bit links assume FIFO channels).
+//
+// Observability: -trace-out writes a Chrome trace_event JSON file
+// (load it at https://ui.perfetto.dev or chrome://tracing) with spans
+// for exploration levels and worker expansions, instant events for
+// injected faults, and counter series for the composition memo.
+// -metrics-out writes a JSON snapshot of every counter and histogram
+// (states admitted, memo hit/miss, per-class fire counts, fault
+// counts). -obs-addr serves live expvar metrics at /debug/vars and
+// pprof profiles at /debug/pprof/ for the duration of the run. Any of
+// the three flags enables instrumentation; with none set the
+// observability layer is off and costs nothing.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -46,93 +59,180 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ioa"
 	"repro/internal/mutex"
+	"repro/internal/obs"
 	"repro/internal/ring"
 	"repro/internal/sim"
 )
 
+// config carries every flag; run is pure in (config, out), so tests
+// drive the whole CLI without exec'ing the binary.
+type config struct {
+	system  string
+	steps   int
+	policy  string
+	seed    int64
+	nUsers  int
+	trace   bool
+	jsonOut bool
+	dotOut  bool
+	faults  string
+	faultSd int64
+	reach   bool
+	workers int
+	limit   int
+
+	obsAddr    string
+	traceOut   string
+	metricsOut string
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ioasim: ")
-	var (
-		system  = flag.String("system", "arbiter3", "system to simulate")
-		steps   = flag.Int("steps", 100, "maximum steps")
-		policy  = flag.String("policy", "rr", "scheduling policy: rr or random")
-		seed    = flag.Int64("seed", 1, "seed for the random policy")
-		nUsers  = flag.Int("users", 3, "number of users (arbiter systems)")
-		trace   = flag.Bool("trace", false, "print the full step trace")
-		jsonOut = flag.Bool("json", false, "emit the trace as JSON events on stdout")
-		dotOut  = flag.Bool("dot", false, "emit the reachable state graph in Graphviz DOT format and exit")
-		faultsF = flag.String("faults", "none", "channel fault profile, e.g. drop=0.1,dup=0.05,delay=3 (arbiter3/arbiter3r)")
-		faultSd = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
-		reach   = flag.Bool("reach", false, "explore the reachable state space instead of simulating")
-		workers = flag.Int("workers", 0, "exploration workers for -reach (0 = GOMAXPROCS, 1 = sequential)")
-		limit   = flag.Int("limit", 0, "state budget for -reach (0 = default)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.system, "system", "arbiter3", "system to simulate")
+	flag.IntVar(&cfg.steps, "steps", 100, "maximum steps")
+	flag.StringVar(&cfg.policy, "policy", "rr", "scheduling policy: rr or random")
+	flag.Int64Var(&cfg.seed, "seed", 1, "seed for the random policy")
+	flag.IntVar(&cfg.nUsers, "users", 3, "number of users (arbiter systems)")
+	flag.BoolVar(&cfg.trace, "trace", false, "print the full step trace")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the trace as JSON events on stdout")
+	flag.BoolVar(&cfg.dotOut, "dot", false, "emit the reachable state graph in Graphviz DOT format and exit")
+	flag.StringVar(&cfg.faults, "faults", "none", "channel fault profile, e.g. drop=0.1,dup=0.05,delay=3 (arbiter3/arbiter3r)")
+	flag.Int64Var(&cfg.faultSd, "fault-seed", 1, "seed for the deterministic fault schedule")
+	flag.BoolVar(&cfg.reach, "reach", false, "explore the reachable state space instead of simulating")
+	flag.IntVar(&cfg.workers, "workers", 0, "exploration workers for -reach (0 = GOMAXPROCS, 1 = sequential)")
+	flag.IntVar(&cfg.limit, "limit", 0, "state budget for -reach (0 = default)")
+	flag.StringVar(&cfg.obsAddr, "obs-addr", "", "serve live expvar + pprof debug endpoints on this address (e.g. :6060)")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write a Chrome trace_event JSON file to this path")
+	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write a metrics snapshot JSON file to this path")
 	flag.Parse()
+	if err := run(cfg, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	prof, err := faults.ParseProfile(*faultsF)
+// run executes one ioasim invocation, writing human output to out.
+// Observability artifacts (-trace-out, -metrics-out) are written even
+// when the run itself fails, so a trace of the failing run survives;
+// all errors, including partial-write errors from the artifact files,
+// are combined into the returned error.
+func run(cfg config, out io.Writer) error {
+	prof, err := faults.ParseProfile(cfg.faults)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	auto, err := buildSystem(*system, *nUsers, prof, *faultSd)
-	if err != nil {
-		log.Fatal(err)
+	var o *obs.Obs
+	if cfg.obsAddr != "" || cfg.traceOut != "" || cfg.metricsOut != "" {
+		o = obs.New(nil)
+		o.Tracer.NameProcess("ioasim -system " + cfg.system)
 	}
-	if *dotOut {
-		if err := explore.WriteDOT(os.Stdout, auto, 4096); err != nil {
-			log.Fatal(err)
+	var stopServe func() error
+	if cfg.obsAddr != "" {
+		o.PublishExpvar("ioasim")
+		addr, stop, err := obs.Serve(cfg.obsAddr)
+		if err != nil {
+			return err
 		}
-		return
+		stopServe = stop
+		fmt.Fprintf(out, "obs: serving http://%s/debug/vars and /debug/pprof/\n", addr)
 	}
-	if *reach {
-		opts := explore.Options{Workers: *workers, Limit: *limit}
+
+	auto, err := buildSystem(cfg.system, cfg.nUsers, prof, cfg.faultSd, o)
+	if err == nil {
+		if o != nil {
+			ioa.SetObsDeep(auto, o)
+		}
+		err = dispatch(cfg, auto, o, out)
+	}
+
+	if cfg.traceOut != "" {
+		err = errors.Join(err, writeFile(cfg.traceOut, o.Tracer.WriteJSON))
+	}
+	if cfg.metricsOut != "" {
+		err = errors.Join(err, writeFile(cfg.metricsOut, o.Reg.WriteJSON))
+	}
+	if stopServe != nil {
+		err = errors.Join(err, stopServe())
+	}
+	return err
+}
+
+// dispatch runs the selected mode: DOT export, reachability, or
+// simulation.
+func dispatch(cfg config, auto ioa.Automaton, o *obs.Obs, out io.Writer) error {
+	if cfg.dotOut {
+		return explore.WriteDOT(out, auto, 4096)
+	}
+	if cfg.reach {
+		opts := explore.Options{Workers: cfg.workers, Limit: cfg.limit, Obs: o}
 		states, err := explore.ReachOpts(auto, opts)
 		truncated := false
 		if err != nil {
 			if !errors.Is(err, explore.ErrLimit) {
-				log.Fatal(err)
+				return err
 			}
 			truncated = true
 		}
-		fmt.Printf("%s: %d reachable states", auto.Name(), len(states))
+		fmt.Fprintf(out, "%s: %d reachable states", auto.Name(), len(states))
 		if truncated {
-			fmt.Printf(" (truncated at state budget; pass a larger -limit)")
-			fmt.Println()
-			return
+			fmt.Fprintf(out, " (truncated at state budget; pass a larger -limit)\n")
+			return nil
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 		dead, err := explore.DeadlocksOpts(auto, opts)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if len(dead) == 0 {
-			fmt.Println("no quiescent states")
+			fmt.Fprintln(out, "no quiescent states")
 		} else {
-			fmt.Printf("%d quiescent states (nothing locally controlled enabled); first: %s\n",
+			fmt.Fprintf(out, "%d quiescent states (nothing locally controlled enabled); first: %s\n",
 				len(dead), dead[0].Key())
 		}
-		return
+		return nil
 	}
 	var p sim.Policy
-	switch *policy {
+	switch cfg.policy {
 	case "rr":
 		p = &sim.RoundRobin{}
 	case "random":
-		p = sim.NewRandom(*seed)
+		p = sim.NewRandom(cfg.seed)
 	default:
-		log.Fatalf("unknown policy %q", *policy)
+		return fmt.Errorf("unknown policy %q", cfg.policy)
 	}
-	x, err := sim.Run(auto, p, *steps, nil)
+	x, err := sim.RunObs(auto, p, cfg.steps, nil, o)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if *jsonOut {
-		if err := writeJSON(os.Stdout, x); err != nil {
-			log.Fatal(err)
-		}
-		return
+	if cfg.jsonOut {
+		return writeJSON(out, x)
 	}
-	report(auto, x, *trace)
+	report(out, auto, x, cfg.trace)
+	return nil
+}
+
+// writeFile writes one observability artifact through a buffered
+// writer. Flush and close always run, and their errors are combined
+// with the emit error, so a partial write (full disk, closed pipe) is
+// reported instead of leaving a silently truncated artifact.
+func writeFile(path string, emit func(io.Writer) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	err = emit(bw)
+	if ferr := bw.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
 }
 
 // event is one step of a trace in the JSON export format.
@@ -155,7 +255,7 @@ func writeJSON(w io.Writer, x *ioa.Execution) error {
 	return enc.Encode(events)
 }
 
-func buildSystem(name string, nUsers int, prof faults.Profile, faultSeed int64) (ioa.Automaton, error) {
+func buildSystem(name string, nUsers int, prof faults.Profile, faultSeed int64, o *obs.Obs) (ioa.Automaton, error) {
 	switch name {
 	case "arbiter3", "arbiter3r":
 		// Handled below; every other system rejects fault injection.
@@ -234,7 +334,8 @@ func buildSystem(name string, nUsers int, prof faults.Profile, faultSeed int64) 
 				if err != nil {
 					return nil, err
 				}
-				inj = faults.Injection{Sched: sched}
+				sched.Obs = o
+				inj = faults.Injection{Sched: sched, Obs: o}
 			}
 			holder := tr.NodesOf(graph.Arbiter)[0]
 			aug, err := graph.Augment(tr)
@@ -289,26 +390,26 @@ func treeUserNames(tr *graph.Tree) []string {
 	return out
 }
 
-func report(auto ioa.Automaton, x *ioa.Execution, trace bool) {
-	fmt.Printf("system %s: ran %d steps\n", auto.Name(), x.Len())
+func report(out io.Writer, auto ioa.Automaton, x *ioa.Execution, trace bool) {
+	fmt.Fprintf(out, "system %s: ran %d steps\n", auto.Name(), x.Len())
 	if trace {
 		for i, act := range x.Acts {
-			fmt.Printf("%4d  %s\n", i+1, act)
+			fmt.Fprintf(out, "%4d  %s\n", i+1, act)
 		}
 	}
 	if err := ioa.CheckFairWindow(x, 4*len(auto.Parts())); err != nil {
-		fmt.Printf("fairness: %v\n", err)
+		fmt.Fprintf(out, "fairness: %v\n", err)
 	} else {
-		fmt.Println("fairness: every class served within the window")
+		fmt.Fprintln(out, "fairness: every class served within the window")
 	}
 	counts := make(map[string]int)
 	for _, act := range x.Acts {
 		counts[act.Base()]++
 	}
-	fmt.Println("action counts:")
+	fmt.Fprintln(out, "action counts:")
 	for _, base := range []string{"request", "grant", "return"} {
 		if counts[base] > 0 {
-			fmt.Printf("  %-8s %d\n", base, counts[base])
+			fmt.Fprintf(out, "  %-8s %d\n", base, counts[base])
 		}
 	}
 	perUser := make(map[string]int)
@@ -318,13 +419,13 @@ func report(auto ioa.Automaton, x *ioa.Execution, trace bool) {
 		}
 	}
 	if len(perUser) > 0 {
-		fmt.Println("grants per user:")
+		fmt.Fprintln(out, "grants per user:")
 		for _, u := range sortedKeys(perUser) {
-			fmt.Printf("  %-6s %d\n", u, perUser[u])
+			fmt.Fprintf(out, "  %-6s %d\n", u, perUser[u])
 		}
 	}
 	if x.Len() > 0 && len(perUser) == 0 && !trace {
-		fmt.Printf("last actions: %s\n", ioa.TraceString(x.Acts[max(0, len(x.Acts)-10):]))
+		fmt.Fprintf(out, "last actions: %s\n", ioa.TraceString(x.Acts[max(0, len(x.Acts)-10):]))
 	}
 }
 

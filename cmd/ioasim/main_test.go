@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTraceOutRoundTrip is the observability acceptance check: a
+// level-3 arbiter run with -trace-out must produce a structurally
+// valid Chrome trace_event JSON document — unmarshalable into
+// obs.TraceFile, with complete spans carrying durations, instant fault
+// events, and memo counter series.
+func TestTraceOutRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	cfg := config{
+		system: "arbiter3", nUsers: 3, reach: true, workers: 2, limit: 20000,
+		faults: "drop=0.2", faultSd: 1, steps: 100, policy: "rr",
+		traceOut: tracePath, metricsOut: metricsPath,
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "reachable states") {
+		t.Fatalf("unexpected run output: %s", out.String())
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc obs.TraceFile
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace artifact does not round-trip: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	var spans, instants, counters, meta int
+	for _, e := range doc.TraceEvents {
+		if e.Name == "" || e.Ph == "" {
+			t.Fatalf("event missing name/ph: %+v", e)
+		}
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur < 0 {
+				t.Errorf("span %q has negative duration %v", e.Name, e.Dur)
+			}
+		case "i":
+			instants++
+			if e.S != "t" {
+				t.Errorf("instant %q scope = %q, want t", e.Name, e.S)
+			}
+		case "C":
+			counters++
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %q on event %q", e.Ph, e.Name)
+		}
+	}
+	if spans == 0 || instants == 0 || counters == 0 || meta == 0 {
+		t.Fatalf("trace missing event kinds: %d spans, %d instants (faults), %d counters, %d metadata",
+			spans, instants, counters, meta)
+	}
+
+	// The metrics artifact must round-trip too, with the drop counter
+	// matching the number of drop instants in the trace (arbiter3 with
+	// drop=0.2 at this seed injects at least one).
+	mraw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(mraw, &snap); err != nil {
+		t.Fatalf("metrics artifact does not round-trip: %v", err)
+	}
+	if snap.Counters["faults.drop"] == 0 {
+		t.Error("faults.drop = 0, want > 0 (drop=0.2 at fault-seed 1)")
+	}
+	var dropInstants int64
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "i" && e.Name == "drop" {
+			dropInstants++
+		}
+	}
+	if dropInstants != snap.Counters["faults.drop"] {
+		t.Errorf("drop instants (%d) != faults.drop counter (%d)", dropInstants, snap.Counters["faults.drop"])
+	}
+	if snap.Counters["explore.states_admitted"] == 0 {
+		t.Error("explore.states_admitted = 0")
+	}
+}
+
+// TestRunWithoutObsFlags checks the uninstrumented path still works
+// and writes no artifacts.
+func TestRunWithoutObsFlags(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{system: "arbiter1", nUsers: 2, steps: 40, policy: "rr", faults: "none"}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "ran 40 steps") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+}
+
+// TestRunSimWithObs drives the simulator path with tracing on and
+// checks the per-class fairness counters land in the snapshot.
+func TestRunSimWithObs(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	cfg := config{
+		system: "arbiter3", nUsers: 3, steps: 60, policy: "rr", faults: "none",
+		metricsOut: metricsPath,
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["sim.steps"] != 60 {
+		t.Errorf("sim.steps = %d, want 60", snap.Counters["sim.steps"])
+	}
+	if snap.Counters["sim.runs"] != 1 {
+		t.Errorf("sim.runs = %d, want 1", snap.Counters["sim.runs"])
+	}
+	classFires := 0
+	var total int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "sim.class_fires.") {
+			classFires++
+			total += v
+		}
+	}
+	if classFires == 0 {
+		t.Error("no per-class fire counters recorded")
+	}
+	if total != snap.Counters["sim.steps"] {
+		t.Errorf("class fires sum to %d, want sim.steps = %d", total, snap.Counters["sim.steps"])
+	}
+}
+
+// TestWriteFileReportsErrors checks the artifact writer surfaces
+// partial-write errors instead of swallowing them (satellite: flush
+// and close on error paths).
+func TestWriteFileReportsErrors(t *testing.T) {
+	if err := writeFile(filepath.Join(t.TempDir(), "no", "such", "dir", "x.json"),
+		func(w io.Writer) error { return nil }); err == nil {
+		t.Error("want error for uncreatable path")
+	}
+	boom := errors.New("boom")
+	path := filepath.Join(t.TempDir(), "x.json")
+	err := writeFile(path, func(w io.Writer) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("emit error not propagated: %v", err)
+	}
+}

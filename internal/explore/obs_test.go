@@ -1,0 +1,91 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/obs"
+)
+
+// TestObsDoesNotChangeResults pins the core observability contract:
+// attaching an Obs changes nothing about the explored state set.
+func TestObsDoesNotChangeResults(t *testing.T) {
+	plain, err := ParallelReach(modCounters(3, 4), Options{Workers: 3, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New(nil)
+	a := modCounters(3, 4)
+	ioa.SetObsDeep(a, o)
+	instrumented, err := ParallelReach(a, Options{Workers: 3, Dedup: true, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(instrumented) {
+		t.Fatalf("instrumented run found %d states, plain %d", len(instrumented), len(plain))
+	}
+	for i := range plain {
+		if plain[i].Key() != instrumented[i].Key() {
+			t.Fatalf("state %d differs: %q vs %q", i, plain[i].Key(), instrumented[i].Key())
+		}
+	}
+}
+
+// TestObsExploreMetrics checks that an instrumented run populates the
+// explorer and memo metric sets coherently.
+func TestObsExploreMetrics(t *testing.T) {
+	o := obs.New(nil)
+	a := modCounters(3, 4) // 64 states
+	ioa.SetObsDeep(a, o)
+	states, err := ParallelReach(a, Options{Workers: 2, Dedup: true, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Explore.States.Value(); got != int64(len(states)) {
+		t.Errorf("explore.states_admitted = %d, want %d", got, len(states))
+	}
+	if o.Explore.Levels.Value() == 0 {
+		t.Error("explore.levels = 0, want > 0")
+	}
+	if o.Explore.Successors.Value() < int64(len(states)) {
+		t.Errorf("explore.successors_emitted = %d, want >= %d",
+			o.Explore.Successors.Value(), len(states))
+	}
+	fr := o.Explore.Frontier.Snapshot()
+	if fr.Count != o.Explore.Levels.Value() {
+		t.Errorf("frontier observations = %d, want one per level (%d)",
+			fr.Count, o.Explore.Levels.Value())
+	}
+	mv := o.Memo.Values()
+	if mv["next_hit"]+mv["next_miss"] == 0 {
+		t.Error("memo counters empty; SetObsDeep did not reach the composite")
+	}
+	// The trace should hold metadata, level spans, worker spans, and
+	// memo counter series.
+	phases := map[string]bool{}
+	for _, e := range o.Tracer.Events() {
+		phases[e.Ph] = true
+	}
+	for _, ph := range []string{"M", "X", "C"} {
+		if !phases[ph] {
+			t.Errorf("trace has no %q events", ph)
+		}
+	}
+}
+
+// TestObsStatesCounterAtLimit checks the admitted-states counter
+// matches the result length when the budget truncates a level.
+func TestObsStatesCounterAtLimit(t *testing.T) {
+	o := obs.New(nil)
+	a := modCounters(3, 4)
+	states, err := ParallelReach(a, Options{Workers: 2, Limit: 10, Obs: o})
+	if err == nil {
+		t.Fatal("want ErrLimit")
+	}
+	if len(states) != 10 {
+		t.Fatalf("partial result has %d states, want 10", len(states))
+	}
+	if got := o.Explore.States.Value(); got != 10 {
+		t.Errorf("explore.states_admitted = %d, want 10", got)
+	}
+}

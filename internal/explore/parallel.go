@@ -37,8 +37,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ioa"
+	"repro/internal/obs"
 )
 
 // DefaultLimit is the state budget used when Options.Limit is zero.
@@ -60,6 +62,12 @@ type Options struct {
 	// per-level table, reducing outbox traffic on diamond-heavy state
 	// graphs. Results are identical with it on or off.
 	Dedup bool
+	// Obs, when non-nil, enables observability: per-level spans and
+	// frontier/latency histograms, per-worker expansion spans, and
+	// successor/dedup counters. Nil (the default) is the disabled fast
+	// path — the engine performs no clock reads and no metric writes.
+	// Observability never affects the explored state set.
+	Obs *obs.Obs
 }
 
 // workers resolves the worker count.
@@ -86,7 +94,17 @@ func (o Options) limit() int {
 // Both paths return the same state set and the same error behavior.
 func ReachOpts(a ioa.Automaton, opts Options) ([]ioa.State, error) {
 	if opts.workers() <= 1 {
-		return Reach(a, opts.limit())
+		o := opts.Obs
+		var end func()
+		if o != nil {
+			end = o.Tracer.Span(0, "explore", "reach-seq "+a.Name())
+		}
+		states, err := Reach(a, opts.limit())
+		if o != nil {
+			end()
+			o.Explore.States.Add(int64(len(states)))
+		}
+		return states, err
 	}
 	return ParallelReach(a, opts)
 }
@@ -95,6 +113,9 @@ func ReachOpts(a ioa.Automaton, opts Options) ([]ioa.State, error) {
 // dispatching exactly like ReachOpts.
 func CheckInvariantOpts(a ioa.Automaton, opts Options, pred func(ioa.State) bool) (*Violation, error) {
 	if opts.workers() <= 1 {
+		if o := opts.Obs; o != nil {
+			defer o.Tracer.Span(0, "explore", "check-seq "+a.Name())()
+		}
 		return CheckInvariant(a, opts.limit(), pred)
 	}
 	return ParallelCheck(a, opts, pred)
@@ -184,6 +205,14 @@ func parallelExplore(a ioa.Automaton, opts Options, pred func(ioa.State) bool) (
 		w = 1
 	}
 	limit := opts.limit()
+	o := opts.Obs
+	if o != nil {
+		o.Tracer.NameThread(0, "coordinator")
+		for wi := 0; wi < w; wi++ {
+			o.Tracer.NameThread(wi+1, fmt.Sprintf("worker %d", wi))
+		}
+		defer o.Tracer.Span(0, "explore", "explore "+a.Name())()
+	}
 	inputs := a.Sig().Inputs().Sorted()
 	shards := make([]map[string]crumb, w)
 	for i := range shards {
@@ -205,6 +234,9 @@ func parallelExplore(a ioa.Automaton, opts Options, pred func(ioa.State) bool) (
 	}
 	sortStatesByKey(level)
 	order := append([]ioa.State(nil), level...)
+	if o != nil {
+		o.Explore.States.Add(int64(len(order)))
+	}
 	if pred != nil {
 		if v, err := checkLevel(a, shards, level, pred); v != nil || err != nil {
 			return order, v, err
@@ -215,7 +247,21 @@ func parallelExplore(a ioa.Automaton, opts Options, pred func(ioa.State) bool) (
 	}
 
 	for depth := 1; len(level) > 0; depth++ {
-		next := expandLevel(a, inputs, level, shards, opts.Dedup, depth)
+		var levelStart time.Time
+		if o != nil {
+			levelStart = o.Tracer.Now()
+			o.Explore.Frontier.Observe(int64(len(level)))
+		}
+		next := expandLevel(a, inputs, level, shards, opts.Dedup, depth, o)
+		if o != nil {
+			o.Explore.Levels.Add(1)
+			if o.Tracer != nil {
+				o.Explore.LevelNS.Observe(o.Tracer.Now().Sub(levelStart).Nanoseconds())
+				o.Tracer.Complete(0, "explore", fmt.Sprintf("level %d", depth), levelStart,
+					map[string]any{"frontier": len(level), "new": len(next)})
+				o.Tracer.CounterEvent(0, "memo", o.Memo.Values())
+			}
+		}
 		if len(next) == 0 {
 			break
 		}
@@ -228,6 +274,9 @@ func parallelExplore(a ioa.Automaton, opts Options, pred func(ioa.State) bool) (
 		if len(next) > room {
 			admitted := next[:room]
 			order = append(order, admitted...)
+			if o != nil {
+				o.Explore.States.Add(int64(len(admitted)))
+			}
 			if pred != nil {
 				if v, err := checkLevel(a, shards, admitted, pred); v != nil || err != nil {
 					return order, v, err
@@ -236,6 +285,9 @@ func parallelExplore(a ioa.Automaton, opts Options, pred func(ioa.State) bool) (
 			return order, nil, errLimit(a, limit)
 		}
 		order = append(order, next...)
+		if o != nil {
+			o.Explore.States.Add(int64(len(next)))
+		}
 		if pred != nil {
 			if v, err := checkLevel(a, shards, next, pred); v != nil || err != nil {
 				return order, v, err
@@ -260,7 +312,7 @@ func parallelExplore(a ioa.Automaton, opts Options, pred func(ioa.State) bool) (
 // shard. Successors of a state are generated from Enabled(s) plus the
 // input actions (exact by input-enabledness — see the package note).
 func expandLevel(a ioa.Automaton, inputs []ioa.Action, level []ioa.State,
-	shards []map[string]crumb, dedup bool, depth int) []ioa.State {
+	shards []map[string]crumb, dedup bool, depth int, o *obs.Obs) []ioa.State {
 	w := len(shards)
 	// outboxes[worker][shard] holds candidate crumbs.
 	outboxes := make([][][]crumb, w)
@@ -271,6 +323,15 @@ func expandLevel(a ioa.Automaton, inputs []ioa.Action, level []ioa.State,
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
+			// Per-worker tallies are plain locals (register
+			// increments), flushed to the sharded counters once per
+			// level — so the disabled path stays metric-free and the
+			// enabled path stays contention-free.
+			var emitted, dedupHits int64
+			var workStart time.Time
+			if o != nil {
+				workStart = o.Tracer.Now()
+			}
 			buckets := make([][]crumb, w)
 			// Sender-side dedup: position of the candidate already
 			// emitted for a key, so a better (lexicographically
@@ -297,11 +358,13 @@ func expandLevel(a ioa.Automaton, inputs []ioa.Action, level []ioa.State,
 							continue // discovered at an earlier level
 						}
 						c := crumb{state: nxt, parent: key, act: act, depth: depth}
+						emitted++
 						if dedup {
 							if p, ok := local[nk]; ok {
 								if crumbLess(c, buckets[p.shard][p.idx]) {
 									buckets[p.shard][p.idx] = c
 								}
+								dedupHits++
 								continue
 							}
 							local[nk] = pos{shard: h, idx: len(buckets[h])}
@@ -322,6 +385,12 @@ func expandLevel(a ioa.Automaton, inputs []ioa.Action, level []ioa.State,
 				}
 			}
 			outboxes[wi] = buckets
+			if o != nil {
+				o.Explore.Successors.AddShard(wi, emitted)
+				o.Explore.DedupHits.AddShard(wi, dedupHits)
+				o.Tracer.Complete(wi+1, "explore", "expand", workStart,
+					map[string]any{"level": depth, "emitted": emitted})
+			}
 		}(wi)
 	}
 	wg.Wait()

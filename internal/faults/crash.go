@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ioa"
+	"repro/internal/obs"
 )
 
 // RestartMode selects what a crashed process remembers when it
@@ -71,6 +72,17 @@ type crashed struct {
 	sig            ioa.Signature
 	parts          []ioa.Class
 	crash, restart ioa.Action
+	obs            *obs.Obs
+}
+
+// SetObs attaches (or detaches, with nil) fault metrics: crash and
+// restart transitions are counted as they are computed, with the same
+// computed-once-under-memo caveat as Schedule.Obs. ioa.SetObsDeep
+// discovers this method through its extension point, so instrumenting
+// a whole system also reaches crash wrappers and their inner automata.
+func (c *crashed) SetObs(o *obs.Obs) {
+	c.obs = o
+	ioa.SetObsDeep(c.inner, o)
 }
 
 var _ ioa.Automaton = (*crashed)(nil)
@@ -135,10 +147,18 @@ func (c *crashed) Next(st ioa.State, a ioa.Action) []ioa.State {
 		if s.down {
 			return nil
 		}
+		if o := c.obs; o != nil {
+			o.Faults.Crash.Add(1)
+			o.Tracer.Instant(0, "faults", "crash", map[string]any{"process": c.name})
+		}
 		return []ioa.State{newCrashState(true, s.inner)}
 	case c.restart:
 		if !s.down {
 			return nil
+		}
+		if o := c.obs; o != nil {
+			o.Faults.Restart.Add(1)
+			o.Tracer.Instant(0, "faults", "restart", map[string]any{"process": c.name})
 		}
 		if c.mode == Resume {
 			return []ioa.State{newCrashState(false, s.inner)}

@@ -30,6 +30,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // A Class names one kind of injected fault.
@@ -174,6 +176,14 @@ func ParseProfile(s string) (Profile, error) {
 type Schedule struct {
 	Seed    int64
 	Profile Profile
+	// Obs, when non-nil, counts the schedule's fault decisions as they
+	// are applied at enqueue time and records them as instant trace
+	// events. Note the counters tally distinct fault computations, not
+	// trace occurrences: under the composition memo a channel's
+	// transition from a given (state, action) is computed once and then
+	// replayed from cache, so a decision reached through the cache is
+	// not recounted. Observability never changes any decision.
+	Obs *obs.Obs
 }
 
 // NewSchedule builds a schedule after validating the profile.

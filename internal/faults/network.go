@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/ioa"
+	"repro/internal/obs"
 )
 
 // A Msg describes one message kind a channel can carry: the input
@@ -38,6 +39,11 @@ type Injection struct {
 	// Sched, when non-nil, applies seeded per-message faults at
 	// enqueue time (see Schedule).
 	Sched *Schedule
+	// Obs, when non-nil, counts adversary fault actions as their
+	// effects execute and records them as instant trace events (with
+	// the same computed-once-under-memo caveat as Schedule.Obs;
+	// scheduled faults are counted via Sched.Obs).
+	Obs *obs.Obs
 }
 
 // DropAction names the adversary action that loses the head of
@@ -214,12 +220,29 @@ func (s *NetState) offer(from, to, kind string, sched *Schedule) *NetState {
 	if sched != nil {
 		seq := c.sent
 		c.sent++
+		o := sched.Obs
+		if o != nil {
+			o.Faults.Sent.AddShard(int(seq), 1)
+		}
 		if sched.DropsMessage(ch, seq) {
+			if o != nil {
+				o.Faults.Drop.AddShard(int(seq), 1)
+				o.Tracer.Instant(0, "faults", "drop", map[string]any{"channel": ch, "seq": seq})
+			}
 			next[ch] = c
 			return newNetState(next)
 		}
-		c.q = insertWithSlack(c.q, entry{kind: kind, slack: sched.SlackOf(ch, seq)})
+		slack := sched.SlackOf(ch, seq)
+		if o != nil && slack > 0 {
+			o.Faults.Delay.AddShard(int(seq), 1)
+			o.Tracer.Instant(0, "faults", "delay", map[string]any{"channel": ch, "seq": seq, "slack": slack})
+		}
+		c.q = insertWithSlack(c.q, entry{kind: kind, slack: slack})
 		if sched.DuplicatesMessage(ch, seq) {
+			if o != nil {
+				o.Faults.Dup.AddShard(int(seq), 1)
+				o.Tracer.Instant(0, "faults", "dup", map[string]any{"channel": ch, "seq": seq})
+			}
 			c.q = insertWithSlack(c.q, entry{kind: kind})
 		}
 	} else {
@@ -302,20 +325,40 @@ func NewNetwork(name string, links []Link, inj Injection) (*ioa.Prog, error) {
 				func(st ioa.State) bool { return st.(*NetState).HeadIs(from, to, kind) },
 				func(st ioa.State) ioa.State { return st.(*NetState).pop(from, to) })
 		}
+		// advNote counts an adversary fault effect as it executes.
+		advNote := func(o *obs.Obs, counter *obs.Counter, name string) {
+			counter.Add(1)
+			o.Tracer.Instant(0, "faults", name, map[string]any{"channel": ChanKey(from, to)})
+		}
 		for _, c := range adv {
 			switch c {
 			case Drop:
 				d.Internal(DropAction(from, to), class,
 					func(st ioa.State) bool { return len(st.(*NetState).chans[ChanKey(from, to)].q) > 0 },
-					func(st ioa.State) ioa.State { return st.(*NetState).pop(from, to) })
+					func(st ioa.State) ioa.State {
+						if o := inj.Obs; o != nil {
+							advNote(o, o.Faults.Drop, "adv-drop")
+						}
+						return st.(*NetState).pop(from, to)
+					})
 			case Duplicate:
 				d.Internal(DupAction(from, to), class,
 					func(st ioa.State) bool { return len(st.(*NetState).chans[ChanKey(from, to)].q) > 0 },
-					func(st ioa.State) ioa.State { return st.(*NetState).dupHead(from, to) })
+					func(st ioa.State) ioa.State {
+						if o := inj.Obs; o != nil {
+							advNote(o, o.Faults.Dup, "adv-dup")
+						}
+						return st.(*NetState).dupHead(from, to)
+					})
 			case Reorder:
 				d.Internal(ReorderAction(from, to), class,
 					func(st ioa.State) bool { return len(st.(*NetState).chans[ChanKey(from, to)].q) > 1 },
-					func(st ioa.State) ioa.State { return st.(*NetState).swapHead(from, to) })
+					func(st ioa.State) ioa.State {
+						if o := inj.Obs; o != nil {
+							advNote(o, o.Faults.Reorder, "adv-reorder")
+						}
+						return st.(*NetState).swapHead(from, to)
+					})
 			}
 		}
 	}

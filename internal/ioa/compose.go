@@ -3,6 +3,8 @@ package ioa
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // A TupleState is a state of a composition: one component state per
@@ -82,6 +84,10 @@ type Composite struct {
 	// behind RW mutexes.
 	memo   []compMemo
 	memoOn bool
+	// obsMemo, when non-nil, counts cache hits and misses. Writes are
+	// sharded by the memo hash, so concurrent workers touching
+	// different shards also touch different counter stripes.
+	obsMemo *obs.MemoMetrics
 }
 
 // memoShardCount shards each component cache to keep lock contention
@@ -171,6 +177,43 @@ func Compose(name string, comps ...Automaton) (*Composite, error) {
 // goroutines are stepping the composite.
 func (c *Composite) SetMemo(on bool) { c.memoOn = on }
 
+// SetObs attaches (or, with nil, detaches) memo-cache metrics.
+// Observability never changes stepping behavior — only hit/miss
+// counters. Not safe to toggle while other goroutines are stepping
+// the composite.
+func (c *Composite) SetObs(o *obs.Obs) {
+	if o == nil {
+		c.obsMemo = nil
+		return
+	}
+	c.obsMemo = o.Memo
+}
+
+// SetObsDeep applies SetObs to every Composite in the automaton tree,
+// descending through Hide/Rename wrappers and nested compositions —
+// the same traversal as SetMemoDeep, and the one CLI entry points use
+// to instrument a closed system in one call.
+func SetObsDeep(a Automaton, o *obs.Obs) {
+	switch w := a.(type) {
+	case *Composite:
+		w.SetObs(o)
+		for _, comp := range w.comps {
+			SetObsDeep(comp, o)
+		}
+	case *hidden:
+		SetObsDeep(w.inner, o)
+	case *Renamed:
+		SetObsDeep(w.inner, o)
+	default:
+		// Extension point for wrappers defined outside this package
+		// (e.g. the faults crash wrapper): they implement SetObs and
+		// recurse into their inner automaton themselves.
+		if x, ok := a.(interface{ SetObs(*obs.Obs) }); ok {
+			x.SetObs(o)
+		}
+	}
+}
+
 // SetMemoDeep applies SetMemo to every Composite in the automaton
 // tree, descending through Hide/Rename wrappers and nested
 // compositions. Needed to benchmark a fully uncached system: a closed
@@ -196,15 +239,22 @@ func (c *Composite) compNext(i int, s State, a Action) []State {
 		return c.comps[i].Next(s, a)
 	}
 	key := s.Key()
-	sh := &c.memo[i].shards[memoHash(key)%memoShardCount]
+	h := memoHash(key)
+	sh := &c.memo[i].shards[h%memoShardCount]
 	sh.mu.RLock()
 	if row, ok := sh.next[key]; ok {
 		if out, ok := row[a]; ok {
 			sh.mu.RUnlock()
+			if m := c.obsMemo; m != nil {
+				m.NextHit.AddShard(int(h), 1)
+			}
 			return out
 		}
 	}
 	sh.mu.RUnlock()
+	if m := c.obsMemo; m != nil {
+		m.NextMiss.AddShard(int(h), 1)
+	}
 	out := c.comps[i].Next(s, a)
 	sh.mu.Lock()
 	if sh.next == nil {
@@ -228,14 +278,21 @@ func (c *Composite) compEnabled(i int, s State) []Action {
 		return c.comps[i].Enabled(s)
 	}
 	key := s.Key()
-	sh := &c.memo[i].shards[memoHash(key)%memoShardCount]
+	h := memoHash(key)
+	sh := &c.memo[i].shards[h%memoShardCount]
 	sh.mu.RLock()
 	if _, ok := sh.hasEnabled[key]; ok {
 		out := sh.enabled[key]
 		sh.mu.RUnlock()
+		if m := c.obsMemo; m != nil {
+			m.EnabledHit.AddShard(int(h), 1)
+		}
 		return out
 	}
 	sh.mu.RUnlock()
+	if m := c.obsMemo; m != nil {
+		m.EnabledMiss.AddShard(int(h), 1)
+	}
 	out := c.comps[i].Enabled(s)
 	sh.mu.Lock()
 	if sh.enabled == nil {

@@ -27,6 +27,8 @@ var fixtureCases = []struct {
 	{"partitionneg", "repro/fixture/partitionneg", "partition"},
 	{"lockcopypos", "repro/fixture/lockcopypos", "lockcopy"},
 	{"lockcopyneg", "repro/fixture/lockcopyneg", "lockcopy"},
+	{"obspos", "repro/fixture/obspos", "lockcopy"},
+	{"obsneg", "repro/fixture/obsneg", "lockcopy"},
 	{"errflowpos", "repro/internal/proof/errflowpos", "errflow"},
 	{"errflowneg", "repro/internal/proof/errflowneg", "errflow"},
 }

@@ -7,12 +7,15 @@ import (
 
 // lockcopy flags by-value copies of structs containing sync
 // primitives — in this repository, above all the compMemo/memoShard
-// sharded-mutex caches inside ioa.Composite. A copied mutex splits
-// its waiters from its lockers, so a copied shard silently stops
-// synchronizing the cache it guards. The analyzer reports copies at
-// assignments, call arguments, by-value parameter/receiver/result
-// declarations, range clauses, and returns. Fresh values (composite
-// literals, function call results) are not copies and are allowed.
+// sharded-mutex caches inside ioa.Composite and the striped atomic
+// counters and histograms of internal/obs. A copied mutex splits its
+// waiters from its lockers, and a copied atomic stripe silently forks
+// the tally it accumulates, so a copied shard stops synchronizing (or
+// counting for) the structure it belongs to. The analyzer reports
+// copies at assignments, call arguments, by-value
+// parameter/receiver/result declarations, range clauses, and returns.
+// Fresh values (composite literals, function call results) are not
+// copies and are allowed.
 type lockcopy struct{}
 
 func init() { Register(lockcopy{}) }
@@ -30,8 +33,16 @@ var syncTypes = map[string]bool{
 	"Cond": true, "Map": true, "Pool": true,
 }
 
-// containsLock reports whether a value of type t holds a sync
-// primitive directly (not behind a pointer, slice, or map).
+// atomicTypes are the sync/atomic wrapper types, equally no-copy: a
+// copied stripe keeps accepting Adds that the original never sees.
+var atomicTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// containsLock reports whether a value of type t holds a sync or
+// sync/atomic primitive directly (not behind a pointer, slice, or
+// map).
 func containsLock(t types.Type, seen map[types.Type]bool) bool {
 	if t == nil || seen[t] {
 		return false
@@ -39,8 +50,17 @@ func containsLock(t types.Type, seen map[types.Type]bool) bool {
 	seen[t] = true
 	if named, ok := t.(*types.Named); ok {
 		obj := named.Obj()
-		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncTypes[obj.Name()] {
-			return true
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				if syncTypes[obj.Name()] {
+					return true
+				}
+			case "sync/atomic":
+				if atomicTypes[obj.Name()] {
+					return true
+				}
+			}
 		}
 		return containsLock(named.Underlying(), seen)
 	}

@@ -15,10 +15,14 @@ import (
 // conventions, so the analyzer makes them mechanical.
 //
 // internal/testseed is exempt: it is the repository's single
-// sanctioned gateway for seeds and wall-clock readings. The
-// map-iteration check applies only to the trace-producing packages
-// internal/{ioa,explore,sim,bench,graph}; elsewhere map order is
-// allowed to vary as long as it never reaches an output.
+// sanctioned gateway for seeds, random sources, and wall-clock
+// readings. The map-iteration check applies only to the
+// trace-producing packages internal/{ioa,explore,sim,bench,graph};
+// elsewhere map order is allowed to vary as long as it never reaches
+// an output. Inside those same trace packages the math/rand
+// constructors (rand.New, rand.NewSource, ...) are flagged too:
+// production code there must accept an injected *rand.Rand or call
+// testseed.Source, so every seed is auditable at the gateway.
 type nondet struct{}
 
 func init() { Register(nondet{}) }
@@ -36,7 +40,10 @@ var tracePkgs = map[string]bool{
 }
 
 // randConstructors are the package-level math/rand functions that do
-// NOT touch the global source (they build or seed explicit ones).
+// NOT touch the global source (they build or seed explicit ones). They
+// are allowed outside the trace packages; inside them, every random
+// source must be injected or come from testseed.Source so the seed
+// discipline stays auditable in one place.
 var randConstructors = map[string]bool{
 	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
 }
@@ -61,8 +68,14 @@ func (nondet) Run(p *Pass) {
 						p.Reportf(n.Pos(), "time.Now makes runs irreproducible; inject a clock or route through internal/testseed")
 					}
 				case "math/rand", "math/rand/v2":
-					if fn.Type().(*types.Signature).Recv() == nil && !randConstructors[fn.Name()] {
+					if fn.Type().(*types.Signature).Recv() != nil {
+						break // method on an explicit, already-constructed source
+					}
+					if !randConstructors[fn.Name()] {
 						p.Reportf(n.Pos(), "%s.%s draws from the process-global random source; use a seeded *rand.Rand (e.g. from internal/testseed)",
+							fn.Pkg().Path(), fn.Name())
+					} else if checkRanges {
+						p.Reportf(n.Pos(), "%s.%s builds an ad-hoc random source in a trace package; accept an injected *rand.Rand or use testseed.Source",
 							fn.Pkg().Path(), fn.Name())
 					}
 				}

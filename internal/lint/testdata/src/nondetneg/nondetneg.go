@@ -1,5 +1,5 @@
 // Package nondetneg holds the sanctioned counterparts of every
-// nondet violation: seeded generators, the collect-then-sort idiom,
+// nondet violation: injected generators, the collect-then-sort idiom,
 // and an inline suppression with a reason. The golden test loads it
 // under repro/internal/sim/nondetneg (a trace package) and expects
 // zero diagnostics.
@@ -11,10 +11,10 @@ import (
 	"time"
 )
 
-// seeded draws from an explicit source; rand.New and rand.NewSource
-// are constructors, not uses of the global source.
-func seeded() int {
-	r := rand.New(rand.NewSource(7))
+// seeded draws from an injected source: inside a trace package the
+// *rand.Rand must arrive from the caller (ultimately testseed.Source),
+// never be constructed ad hoc.
+func seeded(r *rand.Rand) int {
 	return r.Intn(6)
 }
 

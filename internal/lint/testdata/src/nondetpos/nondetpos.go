@@ -20,6 +20,13 @@ func draw() int {
 	return rand.Intn(6) // want "process-global random source"
 }
 
+// adHoc builds its own random source inside a trace package; both the
+// rand.New and the rand.NewSource constructor calls are flagged.
+func adHoc() int {
+	r := rand.New(rand.NewSource(7)) // want "ad-hoc random source" "ad-hoc random source"
+	return r.Intn(6)
+}
+
 func leak(m map[string]int, sink chan string) []string {
 	var out []string
 	for k := range m {

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Serve starts the live debug endpoint on addr (e.g. ":6060"):
+// /debug/vars (expvar, including any snapshot published with
+// PublishExpvar) and /debug/pprof/... (CPU, heap, goroutine, and
+// execution-trace profiles). It returns the bound address — useful
+// with ":0" — and a shutdown function. The server runs on its own
+// mux, so importing this package never pollutes
+// http.DefaultServeMux.
+func Serve(addr string) (string, func() error, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	stop := func() error {
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
+	return ln.Addr().String(), stop, nil
+}

@@ -1,0 +1,246 @@
+// Package obs is the repository's stdlib-only observability layer:
+// sharded allocation-free metrics (counters, gauges, power-of-two
+// histograms), span tracing in the Chrome trace_event format, and
+// debug endpoints (expvar + net/http/pprof).
+//
+// The design contract is that disabled observability is near-free. A
+// nil *Obs (and the nil metric-set and tracer pointers it implies) is
+// the off switch: every instrumented hot path guards its
+// instrumentation behind one nil check and performs no allocation, no
+// atomic operation, and no clock read when observability is off.
+// BenchmarkObsOverhead in internal/explore pins the ≤2% budget
+// against the pre-instrumentation engine (EXPERIMENTS.md E17).
+//
+// Wall-clock access is injected: New takes a clock (nil means
+// testseed.Now, the repository's single sanctioned accessor), so the
+// nondet analyzer's no-time.Now guarantee holds here too, and tests
+// drive tracers and timing histograms with fake clocks.
+package obs
+
+import (
+	"expvar"
+	"sync"
+	"time"
+
+	"repro/internal/testseed"
+)
+
+// An Obs bundles the observability sinks one run threads through the
+// instrumented subsystems: a metric registry with pre-resolved typed
+// metric sets, and a tracer. A nil *Obs disables everything.
+type Obs struct {
+	// Reg owns every metric; Snapshot/WriteJSON serve the -metrics-out
+	// artifact and the expvar endpoint.
+	Reg *Registry
+	// Tracer collects trace_event spans for -trace-out.
+	Tracer *Tracer
+
+	// Explore, Memo, Sim, Faults, Proof are the per-subsystem metric
+	// sets, pre-resolved from Reg so hot paths never take the registry
+	// lock.
+	Explore *ExploreMetrics
+	Memo    *MemoMetrics
+	Sim     *SimMetrics
+	Faults  *FaultMetrics
+	Proof   *ProofMetrics
+
+	clock func() time.Time
+}
+
+// New builds an enabled Obs. clock supplies the wall time for spans
+// and timing histograms; nil means testseed.Now.
+func New(clock func() time.Time) *Obs {
+	if clock == nil {
+		clock = testseed.Now
+	}
+	reg := NewRegistry()
+	return &Obs{
+		Reg:     reg,
+		Tracer:  NewTracer(clock),
+		Explore: newExploreMetrics(reg),
+		Memo:    newMemoMetrics(reg),
+		Sim:     newSimMetrics(reg),
+		Faults:  newFaultMetrics(reg),
+		Proof:   newProofMetrics(reg),
+		clock:   clock,
+	}
+}
+
+// Now reads the observation clock; the zero time when o is nil.
+func (o *Obs) Now() time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return o.clock()
+}
+
+// ExploreMetrics instruments the parallel state-space explorer.
+type ExploreMetrics struct {
+	// States counts admitted states (equals the result length).
+	States *Counter
+	// Levels counts completed BFS levels.
+	Levels *Counter
+	// Successors counts successor states emitted by workers before
+	// merge-time deduplication.
+	Successors *Counter
+	// DedupHits counts successors suppressed by sender-side dedup.
+	DedupHits *Counter
+	// Frontier is the distribution of per-level frontier sizes.
+	Frontier *Histogram
+	// LevelNS is the distribution of per-level wall times (ns).
+	LevelNS *Histogram
+}
+
+func newExploreMetrics(r *Registry) *ExploreMetrics {
+	return &ExploreMetrics{
+		States:     r.Counter("explore.states_admitted"),
+		Levels:     r.Counter("explore.levels"),
+		Successors: r.Counter("explore.successors_emitted"),
+		DedupHits:  r.Counter("explore.dedup_hits"),
+		Frontier:   r.Histogram("explore.frontier_size"),
+		LevelNS:    r.Histogram("explore.level_ns"),
+	}
+}
+
+// MemoMetrics instruments the composition transition/enabled caches
+// (ioa compMemo).
+type MemoMetrics struct {
+	NextHit, NextMiss       *Counter
+	EnabledHit, EnabledMiss *Counter
+}
+
+func newMemoMetrics(r *Registry) *MemoMetrics {
+	return &MemoMetrics{
+		NextHit:     r.Counter("memo.next_hit"),
+		NextMiss:    r.Counter("memo.next_miss"),
+		EnabledHit:  r.Counter("memo.enabled_hit"),
+		EnabledMiss: r.Counter("memo.enabled_miss"),
+	}
+}
+
+// Values returns the current readings keyed for a tracer counter
+// series.
+func (m *MemoMetrics) Values() map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	return map[string]int64{
+		"next_hit":     m.NextHit.Value(),
+		"next_miss":    m.NextMiss.Value(),
+		"enabled_hit":  m.EnabledHit.Value(),
+		"enabled_miss": m.EnabledMiss.Value(),
+	}
+}
+
+// SimMetrics instruments the untimed simulator: aggregate step counts
+// and per-fairness-class fire counters, which expose the
+// partition-fairness structure of §2.1 empirically — under a fair
+// policy every class's counter grows; a starved class's counter
+// stalls.
+type SimMetrics struct {
+	// Runs counts simulation runs.
+	Runs *Counter
+	// Steps counts scheduled steps across runs.
+	Steps *Counter
+	// EnabledClasses is the distribution of how many classes were
+	// schedulable at each step (scheduling pressure).
+	EnabledClasses *Histogram
+
+	reg     *Registry
+	mu      sync.Mutex
+	classes map[string]*Counter
+}
+
+func newSimMetrics(r *Registry) *SimMetrics {
+	return &SimMetrics{
+		Runs:           r.Counter("sim.runs"),
+		Steps:          r.Counter("sim.steps"),
+		EnabledClasses: r.Histogram("sim.enabled_classes"),
+		reg:            r,
+		classes:        make(map[string]*Counter),
+	}
+}
+
+// ClassFire counts one fired action of the named fairness class. The
+// per-class counters appear in snapshots as "sim.class_fires.<name>".
+func (m *SimMetrics) ClassFire(class string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	c, ok := m.classes[class]
+	if !ok {
+		c = m.reg.Counter("sim.class_fires." + class)
+		m.classes[class] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
+}
+
+// FaultMetrics counts injected fault events per class. Under the
+// composition memo, scheduled-fault decisions are computed once per
+// distinct (state, action) and then replayed from cache, so these
+// count distinct fault computations, not trace occurrences; see
+// DESIGN.md's observability section.
+type FaultMetrics struct {
+	Sent    *Counter // messages offered to scheduled channels
+	Drop    *Counter
+	Dup     *Counter
+	Delay   *Counter // messages given a nonzero overtake budget
+	Reorder *Counter // adversary reorder actions fired
+	Crash   *Counter
+	Restart *Counter
+}
+
+func newFaultMetrics(r *Registry) *FaultMetrics {
+	return &FaultMetrics{
+		Sent:    r.Counter("faults.messages_sent"),
+		Drop:    r.Counter("faults.drop"),
+		Dup:     r.Counter("faults.dup"),
+		Delay:   r.Counter("faults.delay"),
+		Reorder: r.Counter("faults.reorder"),
+		Crash:   r.Counter("faults.crash"),
+		Restart: r.Counter("faults.restart"),
+	}
+}
+
+// ProofMetrics instruments the possibilities-mapping checker.
+type ProofMetrics struct {
+	// MapStates counts reachable states of A whose outgoing steps were
+	// checked against the mapping conditions.
+	MapStates *Counter
+	// MapSteps counts individual (state, action, successor) step
+	// checks.
+	MapSteps *Counter
+	// StateNS is the distribution of per-state check times (ns).
+	StateNS *Histogram
+}
+
+func newProofMetrics(r *Registry) *ProofMetrics {
+	return &ProofMetrics{
+		MapStates: r.Counter("proof.map_states_checked"),
+		MapSteps:  r.Counter("proof.map_steps_checked"),
+		StateNS:   r.Histogram("proof.map_state_check_ns"),
+	}
+}
+
+// expvarMu serializes Publish checks: expvar panics on duplicate
+// names, and tests publish repeatedly.
+var expvarMu sync.Mutex
+
+// PublishExpvar registers the registry snapshot under name in the
+// process-wide expvar table (served at /debug/vars). Publishing the
+// same name again is a no-op, so repeated runs in one process (tests)
+// keep the first binding.
+func (o *Obs) PublishExpvar(name string) {
+	if o == nil {
+		return
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	reg := o.Reg
+	expvar.Publish(name, expvar.Func(func() any { return reg.Snapshot() }))
+}

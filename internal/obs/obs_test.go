@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewWiresMetricSets(t *testing.T) {
+	o := New(fakeClock(time.Millisecond))
+	o.Explore.States.Add(10)
+	o.Memo.NextHit.Add(3)
+	o.Sim.Steps.Add(7)
+	o.Faults.Drop.Add(1)
+	o.Proof.MapStates.Add(2)
+	s := o.Reg.Snapshot()
+	checks := map[string]int64{
+		"explore.states_admitted":  10,
+		"memo.next_hit":            3,
+		"sim.steps":                7,
+		"faults.drop":              1,
+		"proof.map_states_checked": 2,
+	}
+	for name, want := range checks {
+		if got := s.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if o.Now().IsZero() {
+		t.Error("enabled Obs clock returned zero time")
+	}
+}
+
+func TestNilObsSafe(t *testing.T) {
+	var o *Obs
+	if !o.Now().IsZero() {
+		t.Fatal("nil Obs Now not zero")
+	}
+	o.PublishExpvar("nil-obs-test")
+	// The nil metric sets it implies are safe too.
+	var em *ExploreMetrics
+	var mm *MemoMetrics
+	var sm *SimMetrics
+	_ = em
+	if mm.Values() != nil {
+		t.Fatal("nil MemoMetrics.Values not nil")
+	}
+	sm.ClassFire("users")
+}
+
+func TestSimClassFire(t *testing.T) {
+	o := New(fakeClock(time.Millisecond))
+	o.Sim.ClassFire("users")
+	o.Sim.ClassFire("users")
+	o.Sim.ClassFire("arb")
+	s := o.Reg.Snapshot()
+	if s.Counters["sim.class_fires.users"] != 2 || s.Counters["sim.class_fires.arb"] != 1 {
+		t.Fatalf("class counters = %+v", s.Counters)
+	}
+}
+
+func TestMemoValues(t *testing.T) {
+	o := New(fakeClock(time.Millisecond))
+	o.Memo.NextHit.Add(4)
+	o.Memo.EnabledMiss.Add(2)
+	v := o.Memo.Values()
+	if v["next_hit"] != 4 || v["enabled_miss"] != 2 || v["next_miss"] != 0 {
+		t.Fatalf("Values = %+v", v)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	o := New(fakeClock(time.Millisecond))
+	o.Explore.States.Add(5)
+	o.PublishExpvar("obs-test-metrics")
+	o.PublishExpvar("obs-test-metrics") // must not panic
+	v := expvar.Get("obs-test-metrics")
+	if v == nil {
+		t.Fatal("metric var not published")
+	}
+	if !strings.Contains(v.String(), "explore.states_admitted") {
+		t.Fatalf("published snapshot = %s", v.String())
+	}
+}
+
+func TestServe(t *testing.T) {
+	addr, stop, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := stop(); err != nil {
+			t.Errorf("stop: %v", err)
+		}
+	}()
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}

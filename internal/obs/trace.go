@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/testseed"
+)
+
+// Span tracing in the Chrome trace_event format. A Tracer collects
+// events in memory; WriteJSON emits the {"traceEvents": [...]} JSON
+// that chrome://tracing and Perfetto load directly. Durations use
+// complete events (ph "X": one event carrying ts+dur), fault
+// injections use instant events (ph "i"), and per-level cache
+// statistics use counter events (ph "C"), which the viewers plot as
+// stacked series over the timeline.
+//
+// A nil *Tracer is the disabled tracer: every method returns
+// immediately off a nil check, so instrumented hot paths cost one
+// branch when tracing is off.
+
+// A TraceEvent is one trace_event record. Field names follow the
+// Chrome trace-event JSON keys.
+type TraceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	// Ph is the event phase: "X" complete, "i" instant, "C" counter,
+	// "M" metadata.
+	Ph string `json:"ph"`
+	// TS is the event timestamp in microseconds from the tracer epoch.
+	TS float64 `json:"ts"`
+	// Dur is the duration in microseconds (complete events only).
+	Dur float64 `json:"dur,omitempty"`
+	PID int     `json:"pid"`
+	TID int     `json:"tid"`
+	// S is the instant-event scope ("t" thread, "p" process, "g"
+	// global).
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// A TraceFile is the top-level trace_event JSON document. Exported so
+// tests (and external tooling) can round-trip -trace-out artifacts.
+type TraceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit,omitempty"`
+}
+
+// DefaultMaxEvents bounds a tracer's in-memory buffer. Past the
+// bound, events are counted as dropped rather than recorded, so a
+// runaway trace cannot exhaust memory.
+const DefaultMaxEvents = 1 << 20
+
+// A Tracer collects trace events. Construct with NewTracer; the zero
+// value is not usable (it has no clock).
+type Tracer struct {
+	clock func() time.Time
+	epoch time.Time
+	max   int
+
+	mu      sync.Mutex
+	events  []TraceEvent
+	dropped int64
+}
+
+// NewTracer builds a tracer reading time from clock (nil means
+// testseed.Now, the repository's sanctioned wall-clock accessor). The
+// tracer's epoch — trace time zero — is the clock reading at
+// construction.
+func NewTracer(clock func() time.Time) *Tracer {
+	if clock == nil {
+		clock = testseed.Now
+	}
+	return &Tracer{clock: clock, epoch: clock(), max: DefaultMaxEvents}
+}
+
+// SetMaxEvents adjusts the buffer bound (values <= 0 restore the
+// default). Not safe to call concurrently with event recording.
+func (t *Tracer) SetMaxEvents(n int) {
+	if t == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultMaxEvents
+	}
+	t.max = n
+}
+
+// Now reads the tracer's clock; the zero time when tracing is off.
+// Span starts pass through here so call sites never touch a clock on
+// the disabled path.
+func (t *Tracer) Now() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.clock()
+}
+
+// us converts an absolute time to microseconds from the epoch.
+func (t *Tracer) us(at time.Time) float64 {
+	return float64(at.Sub(t.epoch).Nanoseconds()) / 1e3
+}
+
+// record appends an event, honoring the buffer bound.
+func (t *Tracer) record(e TraceEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) >= t.max {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Complete records a complete span (ph "X") that started at start and
+// ends now, on thread tid. args may be nil.
+func (t *Tracer) Complete(tid int, cat, name string, start time.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	end := t.clock()
+	t.record(TraceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		TS: t.us(start), Dur: float64(end.Sub(start).Nanoseconds()) / 1e3,
+		PID: 1, TID: tid, Args: args,
+	})
+}
+
+// Span starts a span and returns the function that ends it, for
+// defer-style use on non-hot paths. On a nil tracer it returns a
+// shared no-op.
+func (t *Tracer) Span(tid int, cat, name string) func() {
+	if t == nil {
+		return nopEnd
+	}
+	start := t.clock()
+	return func() { t.Complete(tid, cat, name, start, nil) }
+}
+
+var nopEnd = func() {}
+
+// Instant records an instant event (ph "i", thread scope) — a single
+// moment on the timeline, used for fault injections.
+func (t *Tracer) Instant(tid int, cat, name string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.record(TraceEvent{
+		Name: name, Cat: cat, Ph: "i", S: "t",
+		TS: t.us(t.clock()), PID: 1, TID: tid, Args: args,
+	})
+}
+
+// CounterEvent records a counter sample (ph "C"): the viewers plot
+// each key of values as a series over time. Used for per-level memo
+// hit/miss progressions.
+func (t *Tracer) CounterEvent(tid int, name string, values map[string]int64) {
+	if t == nil {
+		return
+	}
+	args := make(map[string]any, len(values))
+	for k, v := range values {
+		args[k] = v
+	}
+	t.record(TraceEvent{
+		Name: name, Ph: "C",
+		TS: t.us(t.clock()), PID: 1, TID: tid, Args: args,
+	})
+}
+
+// NameThread records metadata naming thread tid in the viewers.
+func (t *Tracer) NameThread(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.record(TraceEvent{
+		Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// NameProcess records metadata naming the process in the viewers.
+func (t *Tracer) NameProcess(name string) {
+	if t == nil {
+		return
+	}
+	t.record(TraceEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events the buffer bound discarded.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns a copy of the buffered events, in record order.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// WriteJSON emits the buffered events as a trace_event JSON document
+// (the -trace-out artifact format, loadable by Perfetto and
+// chrome://tracing).
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	doc := TraceFile{TraceEvents: t.Events(), DisplayTimeUnit: "ms"}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

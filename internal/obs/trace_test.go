@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step per reading, so trace timestamps are
+// deterministic in tests.
+func fakeClock(step time.Duration) func() time.Time {
+	t0 := time.Unix(1000, 0)
+	n := 0
+	return func() time.Time {
+		t := t0.Add(time.Duration(n) * step)
+		n++
+		return t
+	}
+}
+
+func TestTracerComplete(t *testing.T) {
+	tr := NewTracer(fakeClock(time.Millisecond)) // epoch = reading 0
+	start := tr.Now()                            // reading 1 → 1ms
+	tr.Complete(3, "explore", "level", start, map[string]any{"level": 2})
+	ev := tr.Events()
+	if len(ev) != 1 {
+		t.Fatalf("got %d events, want 1", len(ev))
+	}
+	e := ev[0]
+	if e.Ph != "X" || e.Name != "level" || e.Cat != "explore" || e.TID != 3 {
+		t.Fatalf("event = %+v", e)
+	}
+	if e.TS != 1000 { // 1ms in us
+		t.Fatalf("TS = %v, want 1000", e.TS)
+	}
+	if e.Dur != 1000 { // end at reading 2 → dur 1ms
+		t.Fatalf("Dur = %v, want 1000", e.Dur)
+	}
+}
+
+func TestTracerSpanInstantCounterMeta(t *testing.T) {
+	tr := NewTracer(fakeClock(time.Millisecond))
+	tr.NameProcess("ioasim")
+	tr.NameThread(1, "main")
+	end := tr.Span(1, "sim", "run")
+	end()
+	tr.Instant(2, "faults", "drop", map[string]any{"channel": "u1->arb"})
+	tr.CounterEvent(1, "memo", map[string]int64{"hit": 5, "miss": 2})
+	ev := tr.Events()
+	if len(ev) != 5 {
+		t.Fatalf("got %d events, want 5", len(ev))
+	}
+	phs := []string{"M", "M", "X", "i", "C"}
+	for i, want := range phs {
+		if ev[i].Ph != want {
+			t.Errorf("event %d phase = %q, want %q", i, ev[i].Ph, want)
+		}
+	}
+	if ev[3].S != "t" {
+		t.Errorf("instant scope = %q, want t", ev[3].S)
+	}
+	if ev[4].Args["hit"] != int64(5) {
+		t.Errorf("counter args = %+v", ev[4].Args)
+	}
+}
+
+func TestTracerMaxEvents(t *testing.T) {
+	tr := NewTracer(fakeClock(time.Microsecond))
+	tr.SetMaxEvents(3)
+	for i := 0; i < 10; i++ {
+		tr.Instant(1, "x", "e", nil)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("Dropped = %d, want 7", tr.Dropped())
+	}
+}
+
+func TestTracerWriteJSONRoundTrip(t *testing.T) {
+	tr := NewTracer(fakeClock(time.Millisecond))
+	tr.NameProcess("test")
+	start := tr.Now()
+	tr.Complete(1, "c", "span", start, nil)
+	tr.Instant(1, "c", "evt", map[string]any{"k": "v"})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "" || e.Name == "" {
+			t.Errorf("event missing ph/name: %+v", e)
+		}
+	}
+}
+
+func TestTracerEmptyWriteJSON(t *testing.T) {
+	tr := NewTracer(fakeClock(time.Millisecond))
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"traceEvents": []`)) {
+		t.Fatalf("empty trace should emit an empty array, got %s", buf.String())
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.SetMaxEvents(5)
+	if !tr.Now().IsZero() {
+		t.Fatal("nil tracer Now not zero")
+	}
+	tr.Complete(1, "c", "n", time.Time{}, nil)
+	tr.Span(1, "c", "n")()
+	tr.Instant(1, "c", "n", nil)
+	tr.CounterEvent(1, "n", nil)
+	tr.NameThread(1, "n")
+	tr.NameProcess("n")
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer recorded something")
+	}
+}

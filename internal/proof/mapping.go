@@ -3,6 +3,7 @@ package proof
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/explore"
 	"repro/internal/ioa"
@@ -48,6 +49,10 @@ func (h *PossMapping) Verify(limit int) error {
 // conditions themselves are then checked sequentially over the
 // canonically ordered result.
 func (h *PossMapping) VerifyOpts(opts explore.Options) error {
+	o := opts.Obs
+	if o != nil {
+		defer o.Tracer.Span(0, "proof", "verify "+h.A.Name()+" -> "+h.B.Name())()
+	}
 	if !h.A.Sig().External().Equal(h.B.Sig().External()) {
 		return fmt.Errorf("%w: external signatures differ:\n  A: %v\n  B: %v",
 			ErrNotPossibilities, h.A.Sig().External(), h.B.Sig().External())
@@ -86,8 +91,16 @@ func (h *PossMapping) VerifyOpts(opts explore.Options) error {
 	bActs := h.B.Sig().Acts()
 	actsA := h.A.Sig().Acts().Sorted()
 	for _, a := range reachA {
+		var stateStart time.Time
+		if o != nil {
+			stateStart = o.Now()
+			o.Proof.MapStates.Add(1)
+		}
 		for _, act := range actsA {
 			for _, aNext := range h.A.Next(a, act) {
+				if o != nil {
+					o.Proof.MapSteps.Add(1)
+				}
 				nextPoss := h.Map(aNext)
 				for _, b := range h.Map(a) {
 					if _, reachable := bReach[b.Key()]; !reachable {
@@ -113,6 +126,9 @@ func (h *PossMapping) VerifyOpts(opts explore.Options) error {
 					}
 				}
 			}
+		}
+		if o != nil {
+			o.Proof.StateNS.Observe(o.Now().Sub(stateStart).Nanoseconds())
 		}
 	}
 	return nil

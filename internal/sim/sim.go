@@ -9,6 +9,8 @@ import (
 	"math/rand"
 
 	"repro/internal/ioa"
+	"repro/internal/obs"
+	"repro/internal/testseed"
 )
 
 // A Choice is one scheduling decision: a class index, an action of
@@ -35,9 +37,26 @@ type Policy interface {
 // (the run is then a finite fair execution) or when stop returns true.
 // A nil stop never stops early.
 func Run(a ioa.Automaton, p Policy, maxSteps int, stop func(*ioa.Execution) bool) (*ioa.Execution, error) {
+	return RunObs(a, p, maxSteps, stop, nil)
+}
+
+// RunObs is Run with observability: when o is non-nil, the run is
+// traced as a span, and the Sim metric set records step counts, the
+// per-step scheduling-pressure distribution (how many classes were
+// enabled), and per-fairness-class fire counters — the empirical view
+// of partition fairness (§2.1): under a fair policy every class's
+// counter grows, while a starved class's counter stalls. A nil o makes
+// RunObs identical to Run.
+func RunObs(a ioa.Automaton, p Policy, maxSteps int, stop func(*ioa.Execution) bool, o *obs.Obs) (*ioa.Execution, error) {
 	starts := a.Start()
 	if len(starts) == 0 {
 		return nil, fmt.Errorf("sim: automaton %s has no start states", a.Name())
+	}
+	var parts []ioa.Class
+	if o != nil {
+		o.Sim.Runs.Add(1)
+		parts = a.Parts()
+		defer o.Tracer.Span(0, "sim", "run "+a.Name())()
 	}
 	x := ioa.NewExecution(a, starts[0])
 	for step := 0; step < maxSteps; step++ {
@@ -51,6 +70,13 @@ func Run(a ioa.Automaton, p Policy, maxSteps int, stop func(*ioa.Execution) bool
 		c := p.Choose(a, x.Last(), classes)
 		if err := x.Extend(c.Action, c.Pick); err != nil {
 			return nil, fmt.Errorf("sim: policy chose disabled action: %w", err)
+		}
+		if o != nil {
+			o.Sim.Steps.Add(1)
+			o.Sim.EnabledClasses.Observe(int64(len(classes)))
+			if c.Class >= 0 && c.Class < len(parts) {
+				o.Sim.ClassFire(parts[c.Class].Name)
+			}
 		}
 	}
 	return x, nil
@@ -118,9 +144,18 @@ type Random struct {
 
 var _ Policy = (*Random)(nil)
 
-// NewRandom builds a random policy from a seed.
+// NewRandom builds a random policy from a seed, deriving its generator
+// through testseed.Source (the sanctioned gateway — the nondet
+// analyzer forbids constructing generators directly in this package).
 func NewRandom(seed int64) *Random {
-	return &Random{rng: rand.New(rand.NewSource(seed))}
+	return &Random{rng: testseed.Source(seed)}
+}
+
+// NewRandomFrom builds a random policy around an injected generator,
+// for callers that already own a seeded stream (tests deriving from
+// testseed.Rand, or a runner splitting one seed across policies).
+func NewRandomFrom(rng *rand.Rand) *Random {
+	return &Random{rng: rng}
 }
 
 // Choose implements Policy.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/ioa"
+	"repro/internal/testseed"
 )
 
 // Timed executions (§3.4). The paper assigns times to the states of an
@@ -73,8 +74,12 @@ type TimedRunner struct {
 	// Tempo selects eager or lazy firing.
 	Tempo Tempo
 	// Seed drives tie-breaking among classes with equal deadlines and
-	// among enabled actions within a class.
+	// among enabled actions within a class. Ignored when RNG is set.
 	Seed int64
+	// RNG, if non-nil, is the injected tie-breaking generator; callers
+	// that own a seeded stream (testseed.Rand in tests) pass it here.
+	// When nil, Run derives a generator from Seed via testseed.Source.
+	RNG *rand.Rand
 	// Observe, if non-nil, is called after every step with the
 	// execution so far and the time of the step.
 	Observe func(x *ioa.Execution, t float64)
@@ -89,7 +94,10 @@ func (r *TimedRunner) Run(maxSteps int, stop func(*TimedExecution) bool) (*Timed
 	if len(starts) == 0 {
 		return nil, fmt.Errorf("sim: automaton %s has no start states", r.Auto.Name())
 	}
-	rng := rand.New(rand.NewSource(r.Seed))
+	rng := r.RNG
+	if rng == nil {
+		rng = testseed.Source(r.Seed)
+	}
 	parts := r.Auto.Parts()
 	tx := &TimedExecution{
 		Exec:  ioa.NewExecution(r.Auto, starts[0]),

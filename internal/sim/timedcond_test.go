@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/proof"
+)
+
+// timedExec hand-builds a timed execution: state keys, the actions
+// between them, and a time per state (len(times) = len(keys)).
+// CheckTimedLeadsTo never consults the automaton, so Auto stays nil.
+func timedExec(t *testing.T, keys []string, acts []ioa.Action, times []float64) *TimedExecution {
+	t.Helper()
+	if len(keys) != len(acts)+1 || len(times) != len(keys) {
+		t.Fatalf("malformed execution: %d states, %d acts, %d times", len(keys), len(acts), len(times))
+	}
+	states := make([]ioa.State, len(keys))
+	for i, k := range keys {
+		states[i] = ioa.KeyState(k)
+	}
+	return &TimedExecution{
+		Exec:  &ioa.Execution{States: states, Acts: acts},
+		Times: times,
+	}
+}
+
+// sAt matches states whose key is "S"; tAct matches the action "t".
+func condST(bound float64) TimedLeadsTo {
+	return TimedLeadsTo{
+		Name:  "S~>T",
+		S:     func(s ioa.State) bool { return s.Key() == "S" },
+		T:     func(a ioa.Action) bool { return a == "t" },
+		Bound: bound,
+	}
+}
+
+// The bound is inclusive (§3.4 requires the action by t+b, not before
+// it): a class firing exactly at its deadline satisfies the condition.
+func TestTimedLeadsToFiresExactlyAtBound(t *testing.T) {
+	tx := timedExec(t, []string{"S", "q"}, []ioa.Action{"t"}, []float64{0, 2})
+	if err := CheckTimedLeadsTo(tx, []TimedLeadsTo{condST(2)}, 0); err != nil {
+		t.Errorf("T at exactly t+Bound must satisfy the condition: %v", err)
+	}
+
+	late := timedExec(t, []string{"S", "q"}, []ioa.Action{"t"}, []float64{0, 2.001})
+	err := CheckTimedLeadsTo(late, []TimedLeadsTo{condST(2)}, 0)
+	if err == nil {
+		t.Fatal("T past t+Bound must violate the condition")
+	}
+	if !strings.Contains(err.Error(), "S~>T") {
+		t.Errorf("violation does not name the condition: %v", err)
+	}
+}
+
+func TestTimedLeadsToSlackBoundary(t *testing.T) {
+	tx := timedExec(t, []string{"S", "q"}, []ioa.Action{"t"}, []float64{0, 2.5})
+	if err := CheckTimedLeadsTo(tx, []TimedLeadsTo{condST(2)}, 0.4); err == nil {
+		t.Error("T at 2.5 with deadline 2.4 must violate")
+	}
+	if err := CheckTimedLeadsTo(tx, []TimedLeadsTo{condST(2)}, 0.5); err != nil {
+		t.Errorf("slack is inclusive too (deadline 2.5): %v", err)
+	}
+}
+
+// An obligation still open when the run ends is pending, not violated,
+// as long as the end itself is within the deadline.
+func TestTimedLeadsToPendingTail(t *testing.T) {
+	open := timedExec(t, []string{"S", "S"}, []ioa.Action{"a"}, []float64{0, 1.5})
+	if err := CheckTimedLeadsTo(open, []TimedLeadsTo{condST(2)}, 0); err != nil {
+		t.Errorf("undischarged obligation within Bound of the end is pending, not violated: %v", err)
+	}
+
+	expired := timedExec(t, []string{"S", "q", "q"}, []ioa.Action{"a", "a"}, []float64{0, 1.5, 3})
+	if err := CheckTimedLeadsTo(expired, []TimedLeadsTo{condST(2)}, 0); err == nil {
+		t.Error("obligation with no T and the run past the deadline must violate")
+	}
+}
+
+// S-states must be matched at every interval they hold, not only the
+// first: a fresh obligation at a later S-state gets its own deadline.
+func TestTimedLeadsToReenteredObligation(t *testing.T) {
+	// S at t=0 discharged at t=1; S again at t=4, next T at t=7.
+	tx := timedExec(t,
+		[]string{"S", "q", "S", "q"},
+		[]ioa.Action{"t", "a", "t"},
+		[]float64{0, 1, 4, 7})
+	if err := CheckTimedLeadsTo(tx, []TimedLeadsTo{condST(3)}, 0); err != nil {
+		t.Errorf("both obligations discharged at their bounds: %v", err)
+	}
+	if err := CheckTimedLeadsTo(tx, []TimedLeadsTo{condST(2.5)}, 0); err == nil {
+		t.Error("second obligation (gap 3) must violate bound 2.5")
+	}
+}
+
+func TestTimedLatency(t *testing.T) {
+	// S at t=0 → T at 1.5 (gap 1.5); S at t=3 undischarged, run ends
+	// at 4 (pending gap 1.0).
+	tx := timedExec(t,
+		[]string{"S", "q", "S", "S"},
+		[]ioa.Action{"t", "a", "a"},
+		[]float64{0, 1.5, 3, 4})
+	lat := TimedLatency(tx, []TimedLeadsTo{condST(10)})
+	if got := lat["S~>T"]; got != 1.5 {
+		t.Errorf("worst latency = %v, want 1.5", got)
+	}
+
+	// With the discharged obligation removed, the pending tail is the
+	// worst gap.
+	tail := timedExec(t, []string{"S", "S"}, []ioa.Action{"a"}, []float64{3, 4})
+	lat = TimedLatency(tail, []TimedLeadsTo{condST(10)})
+	if got := lat["S~>T"]; got != 1.0 {
+		t.Errorf("pending-tail latency = %v, want 1.0", got)
+	}
+}
+
+func TestBoundedAllLifts(t *testing.T) {
+	cs := []*proof.LeadsTo{
+		{Name: "a", S: func(ioa.State) bool { return true }, T: func(ioa.Action) bool { return true }},
+		{Name: "b", S: func(ioa.State) bool { return true }, T: func(ioa.Action) bool { return true }},
+	}
+	out := BoundedAll(cs, 7)
+	if len(out) != 2 || out[0].Name != "a" || out[1].Name != "b" {
+		t.Fatalf("lifted names wrong: %+v", out)
+	}
+	for _, c := range out {
+		if c.Bound != 7 {
+			t.Errorf("%s bound = %v, want 7", c.Name, c.Bound)
+		}
+	}
+}
+
+// Integration: the Lazy tempo fires a class exactly at its deadline,
+// so the resulting execution sits on the inclusive boundary of
+// CheckTimedLeadsTo — the strictest b-bounded execution still passes
+// with zero slack.
+func TestLazyTempoMeetsBoundExactly(t *testing.T) {
+	sig := ioa.MustSignature(nil, []ioa.Action{"t"}, nil)
+	a := ioa.MustTable("once", sig,
+		[]ioa.State{ioa.KeyState("S")},
+		[]ioa.Step{{From: ioa.KeyState("S"), Act: "t", To: ioa.KeyState("q")}},
+		[]ioa.Class{{Name: "c", Actions: ioa.NewSet(ioa.Action("t"))}})
+	r := &TimedRunner{Auto: a, Bounds: UniformBounds(2), Tempo: Lazy}
+	tx, err := r.Run(10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.Exec.Len() != 1 || tx.Times[1] != 2 {
+		t.Fatalf("lazy run: len=%d, fire time=%v, want 1 step at t=2", tx.Exec.Len(), tx.Times[1])
+	}
+	if err := CheckTimedLeadsTo(tx, []TimedLeadsTo{condST(2)}, 0); err != nil {
+		t.Errorf("lazy execution must pass its own bound with zero slack: %v", err)
+	}
+	if err := CheckTimedLeadsTo(tx, []TimedLeadsTo{condST(1.999)}, 0); err == nil {
+		t.Error("lazy execution must violate any tighter bound")
+	}
+}

@@ -26,6 +26,16 @@ import (
 // interval measurement.
 func Now() time.Time { return time.Now() }
 
+// Source returns a deterministic generator for the given seed. It is
+// the sanctioned production-code gateway to math/rand: packages that
+// need seeded randomness (the sim policies, the timed runner)
+// construct their generators here — or accept an injected *rand.Rand —
+// instead of calling rand.New themselves, so the nondet analyzer can
+// flag any stray generator construction inside the model packages.
+func Source(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
 // Base returns the repository-wide test seed — the value of
 // REPRO_SEED, default 0 — and logs it so a failing run's output
 // always states how to reproduce it.
