@@ -7,16 +7,25 @@
 // It also measures the exploration engine itself: the -explore sweep
 // times sequential (cached and uncached) against parallel sharded
 // reachability on the closed arbiter levels 1–3 and can emit the rows
-// as JSON (BENCH_explore.json) with -explore-out. The -obs-bench sweep
-// prices the observability layer (E17): parallel reachability with
-// observability off (the nil fast path) versus fully on, emitted as
-// JSON (BENCH_obs.json) with -obs-bench-out. -obs-addr serves live
+// as JSON (BENCH_explore.json) with -explore-out. The -store-bench
+// sweep (E18) times the PR-4 string-keyed reference explorer against
+// the interned store-backed engine, sequential and parallel, emitted
+// as JSON (BENCH_store.json) with -store-bench-out. The -obs-bench
+// sweep prices the observability layer (E17): parallel reachability
+// with observability off (the nil fast path) versus fully on, emitted
+// as JSON (BENCH_obs.json) with -obs-bench-out. -obs-addr serves live
 // expvar and pprof endpoints for the duration of any run.
+//
+// The exploration knobs (-workers, -limit, -dedup) are the shared set
+// registered by explore.BindFlags — identical flags and defaults in
+// ioasim. -workers also sizes the chaos sweep's per-state safety pool.
 //
 // Usage:
 //
-//	arbiterbench [-b bound] [-seed n] [-max n] [-quick] [-workers n]
+//	arbiterbench [-b bound] [-seed n] [-max n] [-quick]
+//	             [-workers n] [-limit n] [-dedup]
 //	             [-explore] [-explore-users n] [-explore-out file]
+//	             [-store-bench] [-store-users n] [-store-bench-out file]
 //	             [-obs-bench] [-obs-users n] [-obs-bench-out file]
 //	             [-obs-addr host:port]
 package main
@@ -29,6 +38,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/explore"
 	"repro/internal/graph"
 	"repro/internal/obs"
 )
@@ -41,10 +51,13 @@ func main() {
 		seed         = flag.Int64("seed", 1, "scheduler tie-break seed")
 		maxN         = flag.Int("max", 64, "largest user count in sweeps")
 		quick        = flag.Bool("quick", false, "small sweep for smoke testing")
-		workers      = flag.Int("workers", 0, "worker pool size for per-state safety checks (0 = GOMAXPROCS)")
+		ex           = explore.BindFlags(flag.CommandLine)
 		exploreRun   = flag.Bool("explore", false, "run the serial-vs-parallel reachability sweep and exit")
 		exploreUsers = flag.Int("explore-users", 6, "users per arbiter instance in the -explore sweep")
 		exploreOut   = flag.String("explore-out", "", "write -explore rows as JSON to this file")
+		storeBench   = flag.Bool("store-bench", false, "run the reference-vs-interned-store sweep and exit")
+		storeUsers   = flag.Int("store-users", 6, "users per arbiter instance in the -store-bench sweep")
+		storeOut     = flag.String("store-bench-out", "", "write -store-bench rows as JSON to this file")
 		obsBench     = flag.Bool("obs-bench", false, "run the observability-overhead sweep and exit")
 		obsUsers     = flag.Int("obs-users", 3, "users per arbiter instance in the -obs-bench sweep")
 		obsOut       = flag.String("obs-bench-out", "", "write -obs-bench rows as JSON to this file")
@@ -81,6 +94,31 @@ func main() {
 			}
 			if err := f.Close(); err != nil {
 				log.Fatalf("obs out: %v", err)
+			}
+		}
+		return
+	}
+
+	if *storeBench {
+		var ws []int
+		if w := ex.Workers(); w > 1 {
+			ws = []int{w}
+		}
+		rows, err := bench.StoreSweep(bench.StoreConfig{Users: *storeUsers, Limit: ex.Limit(), Workers: ws, Reps: 3})
+		if err != nil {
+			log.Fatalf("store sweep: %v", err)
+		}
+		bench.PrintStore(os.Stdout, rows)
+		if *storeOut != "" {
+			f, err := os.Create(*storeOut)
+			if err != nil {
+				log.Fatalf("store out: %v", err)
+			}
+			if err := bench.WriteStoreJSON(f, rows); err != nil {
+				log.Fatalf("store out: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("store out: %v", err)
 			}
 		}
 		return
@@ -179,7 +217,7 @@ func main() {
 		Profiles: bench.DefaultChaosProfiles(),
 		Seeds:    chaosSeeds,
 		Steps:    chaosSteps,
-		Workers:  *workers,
+		Workers:  ex.Workers(),
 	})
 	if err != nil {
 		log.Fatalf("chaos sweep: %v", err)

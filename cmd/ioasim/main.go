@@ -8,14 +8,17 @@
 //	ioasim -system fig21|fig22|fig23c|arbiter1|arbiter2|arbiter3|arbiter3r|ring|mutex
 //	       [-steps n] [-policy rr|random] [-seed n] [-users n]
 //	       [-faults drop=0.1,dup=0.05,delay=3] [-fault-seed n]
-//	       [-trace] [-json] [-dot] [-reach] [-workers n] [-limit n]
+//	       [-trace] [-json] [-dot] [-reach] [-workers n] [-limit n] [-dedup]
 //	       [-obs-addr host:port] [-trace-out file] [-metrics-out file]
 //
 // The -reach flag explores the system's reachable state space instead
-// of simulating it, reporting the state count and deadlocks; -workers
-// selects the sharded parallel explorer (0 = GOMAXPROCS, 1 =
-// sequential), whose results are bit-identical to the sequential
-// explorer at any worker count. -limit bounds the exploration.
+// of simulating it, reporting the state count and deadlocks. The
+// exploration knobs (-workers, -limit, -dedup) are the shared set
+// registered by explore.BindFlags — identical flags and defaults in
+// arbiterbench — and resolve into the explore.Options behind one
+// explore.Engine: -workers selects the sharded parallel explorer (0 =
+// GOMAXPROCS, 1 = sequential), whose per-depth key-sorted order is
+// identical at any worker count; -limit bounds the exploration.
 //
 // The -faults flag injects seeded channel faults into the distributed
 // arbiter systems: arbiter3 runs the plain A₃ over the faulty channels
@@ -41,6 +44,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -78,8 +82,7 @@ type config struct {
 	faults  string
 	faultSd int64
 	reach   bool
-	workers int
-	limit   int
+	explore explore.Options
 
 	obsAddr    string
 	traceOut   string
@@ -101,12 +104,12 @@ func main() {
 	flag.StringVar(&cfg.faults, "faults", "none", "channel fault profile, e.g. drop=0.1,dup=0.05,delay=3 (arbiter3/arbiter3r)")
 	flag.Int64Var(&cfg.faultSd, "fault-seed", 1, "seed for the deterministic fault schedule")
 	flag.BoolVar(&cfg.reach, "reach", false, "explore the reachable state space instead of simulating")
-	flag.IntVar(&cfg.workers, "workers", 0, "exploration workers for -reach (0 = GOMAXPROCS, 1 = sequential)")
-	flag.IntVar(&cfg.limit, "limit", 0, "state budget for -reach (0 = default)")
+	ex := explore.BindFlags(flag.CommandLine)
 	flag.StringVar(&cfg.obsAddr, "obs-addr", "", "serve live expvar + pprof debug endpoints on this address (e.g. :6060)")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write a Chrome trace_event JSON file to this path")
 	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write a metrics snapshot JSON file to this path")
 	flag.Parse()
+	cfg.explore = ex.Options(nil, nil)
 	if err := run(cfg, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
@@ -161,12 +164,16 @@ func run(cfg config, out io.Writer) error {
 // dispatch runs the selected mode: DOT export, reachability, or
 // simulation.
 func dispatch(cfg config, auto ioa.Automaton, o *obs.Obs, out io.Writer) error {
+	ctx := context.Background()
 	if cfg.dotOut {
-		return explore.WriteDOT(out, auto, 4096)
+		eng := explore.New(explore.Options{Workers: 1, Limit: 4096, Obs: o})
+		return eng.WriteDOT(ctx, out, auto)
 	}
 	if cfg.reach {
-		opts := explore.Options{Workers: cfg.workers, Limit: cfg.limit, Obs: o}
-		states, err := explore.ReachOpts(auto, opts)
+		opts := cfg.explore
+		opts.Obs = o
+		eng := explore.New(opts)
+		states, err := eng.Reach(ctx, auto)
 		truncated := false
 		if err != nil {
 			if !errors.Is(err, explore.ErrLimit) {
@@ -180,7 +187,7 @@ func dispatch(cfg config, auto ioa.Automaton, o *obs.Obs, out io.Writer) error {
 			return nil
 		}
 		fmt.Fprintln(out)
-		dead, err := explore.DeadlocksOpts(auto, opts)
+		dead, err := eng.Deadlocks(ctx, auto)
 		if err != nil {
 			return err
 		}

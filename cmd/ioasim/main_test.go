@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/explore"
 	"repro/internal/obs"
 )
 
@@ -23,8 +24,9 @@ func TestTraceOutRoundTrip(t *testing.T) {
 	tracePath := filepath.Join(dir, "trace.json")
 	metricsPath := filepath.Join(dir, "metrics.json")
 	cfg := config{
-		system: "arbiter3", nUsers: 3, reach: true, workers: 2, limit: 20000,
-		faults: "drop=0.2", faultSd: 1, steps: 100, policy: "rr",
+		system: "arbiter3", nUsers: 3, reach: true,
+		explore: explore.Options{Workers: 2, Limit: 20000},
+		faults:  "drop=0.2", faultSd: 1, steps: 100, policy: "rr",
 		traceOut: tracePath, metricsOut: metricsPath,
 	}
 	var out bytes.Buffer

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,19 +59,21 @@ func figure22() {
 
 func figure23() {
 	fmt.Println("=== Figure 2.3: fair vs unfair equivalence ===")
+	ctx := context.Background()
+	eng := explore.New(explore.Options{Workers: 1, Limit: 100})
 	a, b := figures.Fig23A(), figures.Fig23B()
-	same, _, err := explore.SameBehaviors(a, b, 5)
+	same, _, err := eng.SameBehaviors(ctx, a, b, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("A, B unfairly equivalent (behaviors to depth 5): %t\n", same)
 
 	alphaOnly := func(act ioa.Action) bool { return act == figures.Alpha }
-	la, err := explore.FindLasso(a, 100, alphaOnly, true)
+	la, err := eng.FindLasso(ctx, a, alphaOnly, true)
 	if err != nil {
 		log.Fatal(err)
 	}
-	lb, err := explore.FindLasso(b, 100, alphaOnly, true)
+	lb, err := eng.FindLasso(ctx, b, alphaOnly, true)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,11 +82,11 @@ func figure23() {
 
 	c, d := figures.Fig23C(), figures.Fig23D(6)
 	anyAct := func(ioa.Action) bool { return true }
-	lc, err := explore.FindLasso(c, 100, anyAct, true)
+	lc, err := eng.FindLasso(ctx, c, anyAct, true)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ld, err := explore.FindLasso(d, 100, anyAct, true)
+	ld, err := eng.FindLasso(ctx, d, anyAct, true)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,12 +96,12 @@ func figure23() {
 		ioa.TraceString(ld.Stem.Schedule()), ioa.TraceString(ld.Cycle))
 	fmt.Println("both fair behaviors have the shape α^k β α^ω → fairly equivalent")
 
-	lcu, err := explore.FindLasso(c, 100, alphaOnly, false)
+	lcu, err := eng.FindLasso(ctx, c, alphaOnly, false)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("α^ω unfair behavior of C: %t (α-cycle at the start state)\n", lcu != nil)
-	mD, err := explore.Behaviors(d, 8)
+	mD, err := eng.Behaviors(ctx, d, 8)
 	if err != nil {
 		log.Fatal(err)
 	}

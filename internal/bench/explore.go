@@ -8,6 +8,7 @@ package bench
 // same system.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -147,12 +148,13 @@ func exploreMeasure(level int, cfg ExploreConfig, mode string, workers int) (Exp
 			ioa.SetMemoDeep(a, false)
 		}
 		var states []ioa.State
-		start := now()
-		if mode == "parallel" {
-			states, err = explore.ParallelReach(a, explore.Options{Workers: workers, Limit: limit})
-		} else {
-			states, err = explore.Reach(a, limit)
+		w := workers
+		if mode != "parallel" {
+			w = 1
 		}
+		eng := explore.New(explore.Options{Workers: w, Limit: limit})
+		start := now()
+		states, err = eng.Reach(context.Background(), a)
 		elapsed := now().Sub(start).Nanoseconds()
 		if err != nil {
 			if !errors.Is(err, explore.ErrLimit) {

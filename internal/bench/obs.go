@@ -9,6 +9,7 @@ package bench
 // by arbiterbench -obs-bench.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -81,8 +82,9 @@ func obsMeasure(level int, cfg ObsConfig, instrumented bool) (ObsRow, error) {
 			o = obs.New(cfg.Now)
 			ioa.SetObsDeep(a, o)
 		}
+		eng := explore.New(explore.Options{Workers: cfg.Workers, Limit: cfg.Limit, Obs: o})
 		start := now()
-		states, err := explore.ParallelReach(a, explore.Options{Workers: cfg.Workers, Limit: cfg.Limit, Obs: o})
+		states, err := eng.Reach(context.Background(), a)
 		elapsed := now().Sub(start).Nanoseconds()
 		if err != nil && !errors.Is(err, explore.ErrLimit) {
 			return row, err

@@ -1,0 +1,334 @@
+package explore
+
+// The Engine facade. PR 5 consolidates the package's positional entry
+// points (Reach, CheckInvariant, Deadlocks, Behaviors, Schedules,
+// Execs, SameBehaviors, FindLasso, plus the diagnostic EnabledReport
+// and WriteDOT) behind one type constructed from Options, with
+// context.Context cancellation on every method. The old top-level
+// functions survive as thin deprecated shims (shims.go) so downstream
+// callers keep compiling; internal packages are held to the new API by
+// a CI grep.
+//
+// Internally every explorer dedups through internal/store: states are
+// byte-encoded once (ioa.AppendState — the Encoder fast path with a
+// Key() fallback), interned into arena-backed shards, and tracked by
+// dense uint64 IDs instead of string-keyed maps; successor enumeration
+// goes through ioa.VisitNext so implementations with a Stepper fast
+// path allocate no intermediate []State per (state, action) step. The
+// visit order is bit-identical to the string-keyed seed explorer
+// (reference.go keeps it as the differential oracle): interning
+// preserves first-insertion order, and encoding equality coincides
+// with Key() equality by the Encoder contract.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/ioa"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// DefaultLimit is the state budget used when Options.Limit is zero.
+const DefaultLimit = 1 << 20
+
+// Options parameterizes an exploration Engine.
+type Options struct {
+	// Workers is the number of exploration goroutines. 0 means
+	// GOMAXPROCS; 1 runs the sequential engine.
+	Workers int
+	// Limit is the maximum number of states to admit (0 =
+	// DefaultLimit). The ErrLimit contract is shared by both engines:
+	// the partial result holds exactly Limit states and ErrLimit is
+	// returned iff an unseen state remains.
+	Limit int
+	// Dedup enables sender-side duplicate suppression in the parallel
+	// engine: each worker additionally filters the successors it
+	// forwards through a local per-level table, reducing outbox traffic
+	// on diamond-heavy state graphs. Results are identical with it on
+	// or off.
+	Dedup bool
+	// Obs, when non-nil, enables observability: per-level spans and
+	// frontier/latency histograms, per-worker expansion spans,
+	// successor/dedup counters, and the state-store occupancy and
+	// arena-bytes gauges. Nil (the default) is the disabled fast path —
+	// the engine performs no clock reads and no metric writes.
+	// Observability never affects the explored state set.
+	Obs *obs.Obs
+	// Now optionally overrides the clock behind the engine's own timing
+	// measurements (the per-level wall-time histogram). Nil means the
+	// Obs tracer clock, which itself defaults to testseed.Now; with Obs
+	// nil the engine reads no clock at all.
+	Now func() time.Time
+}
+
+// workers resolves the worker count.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	if o.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return 1
+}
+
+// limit resolves the state budget.
+func (o Options) limit() int {
+	if o.Limit > 0 {
+		return o.Limit
+	}
+	return DefaultLimit
+}
+
+// An Engine runs finite-state analyses of I/O automata under one
+// Options bundle. Engines are stateless between calls (each method
+// builds a fresh state store), so one Engine may be shared and its
+// methods called concurrently.
+type Engine struct {
+	opts Options
+}
+
+// New builds an Engine from opts.
+func New(opts Options) *Engine { return &Engine{opts: opts} }
+
+// Opts returns the engine's options.
+func (e *Engine) Opts() Options { return e.opts }
+
+// now reads the engine's measurement clock.
+func (e *Engine) now() time.Time {
+	if e.opts.Now != nil {
+		return e.opts.Now()
+	}
+	return e.opts.Obs.Tracer.Now()
+}
+
+// storeGauges publishes the store's occupancy to the obs gauges.
+func storeGauges(o *obs.Obs, st *store.Store) {
+	if o == nil {
+		return
+	}
+	o.Store.Occupancy.Set(int64(st.Len()))
+	o.Store.ArenaBytes.Set(st.ArenaBytes())
+}
+
+// ctxOr normalizes a nil context.
+func ctxOr(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// Reach computes the reachable states of a, visiting at most
+// Options.Limit states, sequentially at one worker and via the sharded
+// parallel engine otherwise. The result is deterministic for a given
+// worker mode: the sequential order is BFS discovery order (bit-
+// identical to ReferenceReach); the parallel order is BFS-depth order,
+// key-sorted within each depth, independent of the worker count. It
+// returns ErrLimit (with a partial result of exactly Limit states) iff
+// an unseen state remains, and ctx.Err() (with the partial result so
+// far) on cancellation.
+func (e *Engine) Reach(ctx context.Context, a ioa.Automaton) ([]ioa.State, error) {
+	ctx = ctxOr(ctx)
+	if e.opts.workers() <= 1 {
+		return e.reachSeq(ctx, a)
+	}
+	order, _, err := e.parallelExplore(ctx, a, nil)
+	return order, err
+}
+
+// CheckInvariant explores reachable states (up to Options.Limit) and
+// checks pred at each, returning the first violation found with a
+// witness execution, or nil if the invariant holds on every explored
+// state. At one worker the search and the witness are bit-identical to
+// the seed CheckInvariant; in parallel the verdict agrees whenever the
+// reachable state count is below the limit and any reported violation
+// is a true, reachable violation with a minimal-length canonical
+// witness. pred is only called from the coordinating goroutine.
+func (e *Engine) CheckInvariant(ctx context.Context, a ioa.Automaton, pred func(ioa.State) bool) (*Violation, error) {
+	ctx = ctxOr(ctx)
+	if pred == nil {
+		return nil, fmt.Errorf("explore: CheckInvariant: nil predicate")
+	}
+	if e.opts.workers() <= 1 {
+		return e.checkSeq(ctx, a, pred)
+	}
+	_, v, err := e.parallelExplore(ctx, a, pred)
+	return v, err
+}
+
+// Deadlocks returns the reachable states from which no
+// locally-controlled action is enabled. (Such states end finite fair
+// executions, §2.2.1.)
+func (e *Engine) Deadlocks(ctx context.Context, a ioa.Automaton) ([]ioa.State, error) {
+	states, err := e.Reach(ctx, a)
+	if err != nil {
+		return nil, err
+	}
+	var out []ioa.State
+	for _, s := range states {
+		if len(a.Enabled(s)) == 0 {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// actionScratch enumerates, per state, the actions worth stepping:
+// Enabled(s) merged with the input actions, sorted. For I/O automata
+// this loses nothing — inputs are enabled in every state
+// (input-enabledness, §2.1) and a locally-controlled action outside
+// Enabled(s) has no step — and because the merged list is sorted, the
+// successors appear in exactly the order the seed explorer's
+// all-actions sweep discovers them, so visit order stays
+// bit-identical while |acts(A)| − |enabled(s)| transition probes are
+// skipped. Duplicates (an Enabled implementation that also reports
+// inputs) are harmless: the second pass finds every successor already
+// interned.
+type actionScratch struct {
+	inputs []ioa.Action
+	buf    []ioa.Action
+}
+
+func newActionScratch(a ioa.Automaton) *actionScratch {
+	return &actionScratch{inputs: a.Sig().Inputs().Sorted()}
+}
+
+// step returns the sorted actions to probe from s. The slice is reused
+// across calls; callers must not retain it.
+func (c *actionScratch) step(a ioa.Automaton, s ioa.State) []ioa.Action {
+	// Copy before sorting: the memo layer may hand out a shared cached
+	// Enabled slice.
+	c.buf = append(c.buf[:0], a.Enabled(s)...)
+	c.buf = append(c.buf, c.inputs...)
+	sort.Slice(c.buf, func(i, j int) bool { return c.buf[i] < c.buf[j] })
+	return c.buf
+}
+
+// reachSeq is the sequential store-backed reachability sweep. The
+// frontier is the unexpanded suffix of the result slice itself (every
+// admitted state is expanded exactly once, in admission order), so
+// visit order is bit-identical to the seed explorer's explicit queue.
+func (e *Engine) reachSeq(ctx context.Context, a ioa.Automaton) ([]ioa.State, error) {
+	limit := e.opts.limit()
+	o := e.opts.Obs
+	if o != nil {
+		defer o.Tracer.Span(0, "explore", "reach-seq "+a.Name())()
+	}
+	scratch := newActionScratch(a)
+	st := store.New(store.Options{})
+	var order []ioa.State
+	push := func(s ioa.State) {
+		if _, fresh := st.Intern(s); fresh {
+			order = append(order, s)
+		}
+	}
+	for _, s := range a.Start() {
+		push(s)
+	}
+	// One yield closure for the whole sweep. Once the budget is full it
+	// switches to probe mode: the first unseen successor aborts the
+	// enumeration (yield false) and Reach returns immediately with the
+	// partial order — the seed version kept materializing and scanning
+	// successor slices here. An exact-fit exploration (budget full, no
+	// unseen successor anywhere) still completes with a nil error.
+	yield := func(nxt ioa.State) bool {
+		if len(order) >= limit {
+			_, seen := st.Has(nxt)
+			return seen
+		}
+		push(nxt)
+		return true
+	}
+	for i := 0; i < len(order); i++ {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return order, err
+			}
+		}
+		s := order[i]
+		for _, act := range scratch.step(a, s) {
+			if !ioa.VisitNext(a, s, act, yield) {
+				storeGauges(o, st)
+				return order, errLimit(a, limit)
+			}
+		}
+	}
+	storeGauges(o, st)
+	if o != nil {
+		o.Explore.States.Add(int64(len(order)))
+	}
+	return order, nil
+}
+
+// checkSeq is the sequential store-backed invariant check. Node
+// indices double as interned IDs (both are dense insertion order), so
+// parent links are plain ints into the node slice.
+func (e *Engine) checkSeq(ctx context.Context, a ioa.Automaton, pred func(ioa.State) bool) (*Violation, error) {
+	limit := e.opts.limit()
+	o := e.opts.Obs
+	if o != nil {
+		defer o.Tracer.Span(0, "explore", "check-seq "+a.Name())()
+	}
+	scratch := newActionScratch(a)
+	st := store.New(store.Options{})
+	type node struct {
+		state  ioa.State
+		parent int
+		act    ioa.Action
+	}
+	var nodes []node
+	witness := func(i int) *ioa.Execution {
+		var rev []int
+		for j := i; j >= 0; j = nodes[j].parent {
+			rev = append(rev, j)
+		}
+		x := ioa.NewExecution(a, nodes[rev[len(rev)-1]].state)
+		for k := len(rev) - 2; k >= 0; k-- {
+			x.Append(nodes[rev[k]].act, nodes[rev[k]].state)
+		}
+		return x
+	}
+	for _, s := range a.Start() {
+		if _, fresh := st.Intern(s); fresh {
+			nodes = append(nodes, node{state: s, parent: -1, act: ""})
+		}
+	}
+	var curParent int
+	var curAct ioa.Action
+	yield := func(nxt ioa.State) bool {
+		if _, fresh := st.Intern(nxt); fresh {
+			nodes = append(nodes, node{state: nxt, parent: curParent, act: curAct})
+		}
+		return true
+	}
+	for i := 0; i < len(nodes); i++ {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if !pred(nodes[i].state) {
+			return &Violation{State: nodes[i].state, Trace: witness(i)}, nil
+		}
+		if len(nodes) >= limit {
+			// Stricter than Reach by design (and matching the seed):
+			// the node store being full is an error even when the
+			// frontier is about to empty, because witnesses for states
+			// past the budget could not be built.
+			storeGauges(o, st)
+			return nil, errLimit(a, limit)
+		}
+		curParent = i
+		for _, act := range scratch.step(a, nodes[i].state) {
+			curAct = act
+			ioa.VisitNext(a, nodes[i].state, act, yield)
+		}
+	}
+	storeGauges(o, st)
+	return nil, nil
+}

@@ -1,0 +1,440 @@
+package explore
+
+// Bounded enumeration analyses (behavior sets, schedules, execution
+// modules) and cycle search, as Engine methods. These share the
+// engine's context plumbing and the interned-store dedup machinery
+// with the reachability sweeps in engine.go.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/ioa"
+	"repro/internal/store"
+)
+
+// Behaviors computes the set of external behaviors (projections of
+// schedules onto ext(A)) of executions of a with at most `depth` total
+// steps. The result includes the empty behavior and is prefix-closed.
+// State×trace pairs are deduplicated (via the interned store, on the
+// state encoding joined with the trace), so internal cycles do not
+// diverge.
+func (e *Engine) Behaviors(ctx context.Context, a ioa.Automaton, depth int) (*ioa.SchedModule, error) {
+	ctx = ctxOr(ctx)
+	ext := a.Sig().Ext()
+	acts := a.Sig().Acts().Sorted()
+	traces := make(map[string][]ioa.Action)
+	type cfg struct {
+		state ioa.State
+		trace []ioa.Action // external trace so far
+		steps int
+	}
+	// BFS order matters for correctness: configurations are
+	// deduplicated on (state, external trace), so each must be first
+	// visited with the minimal step count (maximal remaining budget).
+	seen := store.New(store.Options{})
+	var buf []byte
+	var queue []cfg
+	push := func(c cfg) {
+		ts := ioa.TraceString(c.trace)
+		buf = ioa.AppendState(buf[:0], c.state)
+		buf = append(buf, '|')
+		buf = append(buf, ts...)
+		if _, fresh := seen.InternEncoded(buf, store.Hash(buf)); !fresh {
+			return
+		}
+		traces[ts] = c.trace
+		queue = append(queue, c)
+	}
+	for _, s := range a.Start() {
+		push(cfg{state: s})
+	}
+	for i := 0; i < len(queue); i++ {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		c := queue[i]
+		if c.steps == depth {
+			continue
+		}
+		for _, act := range acts {
+			tr := c.trace
+			if ext.Has(act) {
+				tr = append(append([]ioa.Action(nil), c.trace...), act)
+			}
+			ioa.VisitNext(a, c.state, act, func(nxt ioa.State) bool {
+				push(cfg{state: nxt, trace: tr, steps: c.steps + 1})
+				return true
+			})
+		}
+	}
+	list := make([][]ioa.Action, 0, len(traces))
+	for _, tr := range traces {
+		//lint:ignore nondet NewSchedModule keys schedules canonically; list order is unobservable
+		list = append(list, tr)
+	}
+	m, err := ioa.NewSchedModule(a.Sig().External(), list)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Schedules computes the set of full schedules (internal actions
+// included) of executions of a with at most depth steps, as a schedule
+// module over sig(A).
+func (e *Engine) Schedules(ctx context.Context, a ioa.Automaton, depth int) (*ioa.SchedModule, error) {
+	ctx = ctxOr(ctx)
+	acts := a.Sig().Acts().Sorted()
+	traces := make(map[string][]ioa.Action)
+	type cfg struct {
+		state ioa.State
+		trace []ioa.Action
+	}
+	var stack []cfg
+	for _, s := range a.Start() {
+		stack = append(stack, cfg{state: s})
+		traces["ε"] = nil
+	}
+	steps := 0
+	for len(stack) > 0 {
+		if steps&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		steps++
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if len(c.trace) == depth {
+			continue
+		}
+		for _, act := range acts {
+			ioa.VisitNext(a, c.state, act, func(nxt ioa.State) bool {
+				tr := append(append([]ioa.Action(nil), c.trace...), act)
+				traces[ioa.TraceString(tr)] = tr
+				stack = append(stack, cfg{state: nxt, trace: tr})
+				return true
+			})
+		}
+	}
+	list := make([][]ioa.Action, 0, len(traces))
+	for _, tr := range traces {
+		//lint:ignore nondet NewSchedModule keys schedules canonically; list order is unobservable
+		list = append(list, tr)
+	}
+	return ioa.NewSchedModule(a.Sig(), list)
+}
+
+// Execs enumerates all executions of a with at most depth steps, as an
+// execution module. Intended for small finite automata (the module
+// algebra property tests).
+func (e *Engine) Execs(ctx context.Context, a ioa.Automaton, depth int) (*ioa.ExecModule, error) {
+	ctx = ctxOr(ctx)
+	acts := a.Sig().Acts().Sorted()
+	var all []*ioa.Execution
+	var rec func(x *ioa.Execution) bool
+	rec = func(x *ioa.Execution) bool {
+		if len(all)&63 == 0 && ctx.Err() != nil {
+			return false
+		}
+		all = append(all, x.Clone())
+		if x.Len() == depth {
+			return true
+		}
+		for _, act := range acts {
+			ok := true
+			ioa.VisitNext(a, x.Last(), act, func(nxt ioa.State) bool {
+				x.Append(act, nxt)
+				ok = rec(x)
+				x.Acts = x.Acts[:len(x.Acts)-1]
+				x.States = x.States[:len(x.States)-1]
+				return ok
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for _, s := range a.Start() {
+		if !rec(ioa.NewExecution(a, s)) {
+			return nil, ctx.Err()
+		}
+	}
+	return &ioa.ExecModule{Auto: a, Execs: all}, nil
+}
+
+// SameBehaviors reports whether a and b exhibit exactly the same
+// external behaviors up to the given execution depth, returning a
+// distinguishing trace when they differ (bounded unfair-equivalence
+// check, §2.1).
+func (e *Engine) SameBehaviors(ctx context.Context, a, b ioa.Automaton, depth int) (bool, []ioa.Action, error) {
+	ctx = ctxOr(ctx)
+	ma, err := e.Behaviors(ctx, a, depth)
+	if err != nil {
+		return false, nil, err
+	}
+	mb, err := e.Behaviors(ctx, b, depth)
+	if err != nil {
+		return false, nil, err
+	}
+	for _, tr := range ma.Traces() {
+		if !mb.Has(tr) {
+			return false, tr, nil
+		}
+	}
+	for _, tr := range mb.Traces() {
+		if !ma.Has(tr) {
+			return false, tr, nil
+		}
+	}
+	return true, nil, nil
+}
+
+// A Lasso is a reachable cycle: a stem execution from a start state to
+// a state on the cycle, plus the cycle's actions.
+type Lasso struct {
+	Stem  *ioa.Execution
+	Cycle []ioa.Action
+	// CycleStates holds the states visited around the cycle (the
+	// first equals the stem's last state).
+	CycleStates []ioa.State
+}
+
+// FindLasso searches (within the reachable states, up to
+// Options.Limit) for a cycle all of whose actions satisfy `allowed`
+// and that contains at least one action. If fair is true, the cycle
+// must additionally be fair-sustainable: every class of part(A) must
+// either perform an action on the cycle or be disabled at some state
+// of the cycle — exactly the condition under which pumping the cycle
+// forever yields a fair infinite execution (§2.2.1 condition 2).
+// Returns nil if no such lasso exists.
+func (e *Engine) FindLasso(ctx context.Context, a ioa.Automaton, allowed func(ioa.Action) bool, fair bool) (*Lasso, error) {
+	ctx = ctxOr(ctx)
+	states, err := e.Reach(ctx, a)
+	if err != nil {
+		return nil, err
+	}
+	// Index the reachable set: position in states == interned ID, both
+	// dense insertion order.
+	index := store.New(store.Options{})
+	for _, s := range states {
+		index.Intern(s)
+	}
+	acts := a.Sig().Acts().Sorted()
+	// Adjacency restricted to allowed actions.
+	adj := make([][]edge, len(states))
+	for i, s := range states {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		for _, act := range acts {
+			if !allowed(act) {
+				continue
+			}
+			ioa.VisitNext(a, s, act, func(nxt ioa.State) bool {
+				if j, ok := index.Has(nxt); ok {
+					adj[i] = append(adj[i], edge{act: act, to: int(j)})
+				}
+				return true
+			})
+		}
+	}
+	// For each state, DFS for a cycle back to it through allowed edges.
+	for start := range states {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cycle, cycleStates := findCycleFrom(a, states, adj, start, fair)
+		if cycle == nil {
+			continue
+		}
+		stem, err := e.witnessTo(ctx, a, states[start])
+		if err != nil {
+			return nil, err
+		}
+		return &Lasso{Stem: stem, Cycle: cycle, CycleStates: cycleStates}, nil
+	}
+	return nil, nil
+}
+
+// edge is one transition in the reachability graph restricted to a set
+// of allowed actions.
+type edge struct {
+	act ioa.Action
+	to  int
+}
+
+// findCycleFrom searches for a nonempty path start -> ... -> start.
+// When fair is true it only accepts cycles on which every class either
+// acts or is disabled somewhere.
+func findCycleFrom(a ioa.Automaton, states []ioa.State, adj [][]edge, start int, fair bool) ([]ioa.Action, []ioa.State) {
+	// Bounded DFS over simple paths (cycle length ≤ number of states).
+	var best []ioa.Action
+	var bestStates []ioa.State
+	var dfs func(node int, acts []ioa.Action, onPath map[int]bool, path []int) bool
+	dfs = func(node int, acts []ioa.Action, onPath map[int]bool, path []int) bool {
+		for _, e := range adj[node] {
+			if e.to == start {
+				candidate := append(append([]ioa.Action(nil), acts...), e.act)
+				var cs []ioa.State
+				for _, p := range append(append([]int(nil), path...), node) {
+					cs = append(cs, states[p])
+				}
+				cs = append(cs, states[start])
+				if !fair || fairSustainable(a, candidate, cs) {
+					best = candidate
+					bestStates = cs
+					return true
+				}
+			}
+			if !onPath[e.to] && e.to != start {
+				onPath[e.to] = true
+				if dfs(e.to, append(acts, e.act), onPath, append(path, node)) {
+					return true
+				}
+				delete(onPath, e.to)
+			}
+		}
+		return false
+	}
+	onPath := map[int]bool{start: true}
+	if dfs(start, nil, onPath, nil) {
+		return best, bestStates
+	}
+	return nil, nil
+}
+
+// fairSustainable reports whether pumping the given cycle forever
+// yields a fair execution: every class either performs an action on
+// the cycle or is disabled at some cycle state.
+func fairSustainable(a ioa.Automaton, cycle []ioa.Action, cycleStates []ioa.State) bool {
+	for _, c := range a.Parts() {
+		acted := false
+		for _, act := range cycle {
+			if c.Actions.Has(act) {
+				acted = true
+				break
+			}
+		}
+		if acted {
+			continue
+		}
+		disabled := false
+		for _, s := range cycleStates {
+			if !ioa.ClassEnabled(a, s, c) {
+				disabled = true
+				break
+			}
+		}
+		if !disabled {
+			return false
+		}
+	}
+	return true
+}
+
+// witnessTo builds an execution from a start state to target using the
+// BFS invariant checker (so the witness has minimal length).
+func (e *Engine) witnessTo(ctx context.Context, a ioa.Automaton, target ioa.State) (*ioa.Execution, error) {
+	tk := target.Key()
+	we := New(Options{Workers: 1, Limit: maxInt(e.opts.limit(), DefaultLimit), Obs: e.opts.Obs, Now: e.opts.Now})
+	v, err := we.CheckInvariant(ctx, a, func(s ioa.State) bool { return s.Key() != tk })
+	if err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return nil, fmt.Errorf("explore: target state %q unreachable", tk)
+	}
+	return v.Trace, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EnabledReport summarizes, for diagnostics, which locally-controlled
+// actions are enabled at each reachable state.
+func (e *Engine) EnabledReport(ctx context.Context, a ioa.Automaton) (map[string][]ioa.Action, error) {
+	states, err := e.Reach(ctxOr(ctx), a)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]ioa.Action, len(states))
+	for _, s := range states {
+		en := a.Enabled(s)
+		sort.Slice(en, func(i, j int) bool { return en[i] < en[j] })
+		out[s.Key()] = en
+	}
+	return out, nil
+}
+
+// WriteDOT renders the reachable state graph of a (up to
+// Options.Limit states) in Graphviz DOT format: one node per state,
+// one edge per step, labeled with the action. External actions are
+// drawn solid, internal actions dashed. Useful for inspecting small
+// automata and the figure examples.
+func (e *Engine) WriteDOT(ctx context.Context, w io.Writer, a ioa.Automaton) error {
+	ctx = ctxOr(ctx)
+	states, err := e.Reach(ctx, a)
+	if err != nil {
+		return err
+	}
+	index := store.New(store.Options{})
+	for _, s := range states {
+		index.Intern(s)
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", a.Name()); err != nil {
+		return err
+	}
+	starts := make(map[string]bool)
+	for _, s := range a.Start() {
+		starts[s.Key()] = true
+	}
+	for i, s := range states {
+		shape := "ellipse"
+		if starts[s.Key()] {
+			shape = "doublecircle"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q, shape=%s];\n", i, s.Key(), shape); err != nil {
+			return err
+		}
+	}
+	ext := a.Sig().Ext()
+	acts := a.Sig().Acts().Sorted()
+	for i, s := range states {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, act := range acts {
+			var werr error
+			ioa.VisitNext(a, s, act, func(nxt ioa.State) bool {
+				j, ok := index.Has(nxt)
+				if !ok {
+					return true
+				}
+				style := "solid"
+				if !ext.Has(act) {
+					style = "dashed"
+				}
+				_, werr = fmt.Fprintf(w, "  n%d -> n%d [label=%q, style=%s];\n", i, j, act, style)
+				return werr == nil
+			})
+			if werr != nil {
+				return werr
+			}
+		}
+	}
+	_, err = fmt.Fprintln(w, "}")
+	return err
+}

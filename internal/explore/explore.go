@@ -2,12 +2,26 @@
 // automata: reachability, invariant checking, bounded behavior-set
 // computation, deadlock detection, and cycle analysis used to reason
 // about infinite (fair and unfair) behaviors of finite automata.
+//
+// The entry point is the Engine facade: construct one from Options
+// (worker count, state budget, observability handle, injected clock)
+// with New and call its context-aware methods —
+//
+//	eng := explore.New(explore.Options{Workers: 4, Limit: 1 << 20})
+//	states, err := eng.Reach(ctx, a)
+//
+// All explorers dedup through internal/store (byte-encoded interned
+// states with dense IDs) and enumerate successors through
+// ioa.VisitNext (the zero-allocation Stepper fast path); see engine.go
+// and parallel.go. The pre-store string-keyed explorer is preserved in
+// reference.go as the differential-testing oracle. The former
+// top-level functions (Reach, CheckInvariant, ...) remain as
+// deprecated shims in shims.go.
 package explore
 
 import (
 	"errors"
 	"fmt"
-	"io"
 	"sort"
 
 	"repro/internal/ioa"
@@ -16,41 +30,10 @@ import (
 // ErrLimit is returned when exploration exceeds its state budget.
 var ErrLimit = errors.New("explore: state limit exceeded")
 
-// Reach computes the reachable states of a, in BFS order, visiting at
-// most limit states. It returns ErrLimit (with the partial result) if
-// the limit is hit before the frontier empties.
-func Reach(a ioa.Automaton, limit int) ([]ioa.State, error) {
-	acts := a.Sig().Acts().Sorted()
-	seen := make(map[string]struct{})
-	var order []ioa.State
-	var frontier []ioa.State
-	push := func(s ioa.State) {
-		if _, ok := seen[s.Key()]; ok {
-			return
-		}
-		seen[s.Key()] = struct{}{}
-		order = append(order, s)
-		frontier = append(frontier, s)
-	}
-	for _, s := range a.Start() {
-		push(s)
-	}
-	for len(frontier) > 0 {
-		s := frontier[0]
-		frontier = frontier[1:]
-		for _, act := range acts {
-			for _, nxt := range a.Next(s, act) {
-				if len(order) >= limit {
-					if _, ok := seen[nxt.Key()]; !ok {
-						return order, fmt.Errorf("%w: limit %d on %s", ErrLimit, limit, a.Name())
-					}
-					continue
-				}
-				push(nxt)
-			}
-		}
-	}
-	return order, nil
+// errLimit wraps ErrLimit with the automaton and budget, the one
+// format every explorer shares.
+func errLimit(a ioa.Automaton, limit int) error {
+	return fmt.Errorf("%w: limit %d on %s", ErrLimit, limit, a.Name())
 }
 
 // A Violation reports an invariant failure at a reachable state.
@@ -60,433 +43,8 @@ type Violation struct {
 	Trace *ioa.Execution
 }
 
-// CheckInvariant explores reachable states (up to limit) and checks
-// pred at each. It returns the first violation found (with a witness
-// trace), or nil if the invariant holds on all explored states.
-func CheckInvariant(a ioa.Automaton, limit int, pred func(ioa.State) bool) (*Violation, error) {
-	acts := a.Sig().Acts().Sorted()
-	type node struct {
-		state  ioa.State
-		parent int
-		act    ioa.Action
-	}
-	var nodes []node
-	seen := make(map[string]struct{})
-	push := func(s ioa.State, parent int, act ioa.Action) bool {
-		if _, ok := seen[s.Key()]; ok {
-			return false
-		}
-		seen[s.Key()] = struct{}{}
-		nodes = append(nodes, node{state: s, parent: parent, act: act})
-		return true
-	}
-	witness := func(i int) *ioa.Execution {
-		var rev []int
-		for j := i; j >= 0; j = nodes[j].parent {
-			rev = append(rev, j)
-		}
-		x := ioa.NewExecution(a, nodes[rev[len(rev)-1]].state)
-		for k := len(rev) - 2; k >= 0; k-- {
-			x.Append(nodes[rev[k]].act, nodes[rev[k]].state)
-		}
-		return x
-	}
-	for _, s := range a.Start() {
-		push(s, -1, "")
-	}
-	for i := 0; i < len(nodes); i++ {
-		if !pred(nodes[i].state) {
-			return &Violation{State: nodes[i].state, Trace: witness(i)}, nil
-		}
-		if len(nodes) >= limit {
-			return nil, fmt.Errorf("%w: limit %d on %s", ErrLimit, limit, a.Name())
-		}
-		for _, act := range acts {
-			for _, nxt := range a.Next(nodes[i].state, act) {
-				push(nxt, i, act)
-			}
-		}
-	}
-	return nil, nil
-}
-
-// Deadlocks returns the reachable states from which no
-// locally-controlled action is enabled. (Such states end finite fair
-// executions, §2.2.1.)
-func Deadlocks(a ioa.Automaton, limit int) ([]ioa.State, error) {
-	states, err := Reach(a, limit)
-	if err != nil {
-		return nil, err
-	}
-	var out []ioa.State
-	for _, s := range states {
-		if len(a.Enabled(s)) == 0 {
-			out = append(out, s)
-		}
-	}
-	return out, nil
-}
-
-// Behaviors computes the set of external behaviors (projections of
-// schedules onto ext(A)) of executions of a with at most `depth` total
-// steps. The result includes the empty behavior and is prefix-closed.
-// States×trace pairs are deduplicated, so internal cycles do not
-// diverge.
-func Behaviors(a ioa.Automaton, depth int) (*ioa.SchedModule, error) {
-	ext := a.Sig().Ext()
-	acts := a.Sig().Acts().Sorted()
-	traces := make(map[string][]ioa.Action)
-	type cfg struct {
-		state ioa.State
-		trace []ioa.Action // external trace so far
-		steps int
-	}
-	// BFS order matters for correctness: configurations are
-	// deduplicated on (state, external trace), so each must be first
-	// visited with the minimal step count (maximal remaining budget).
-	seen := make(map[string]struct{})
-	var queue []cfg
-	push := func(c cfg) {
-		key := c.state.Key() + "|" + ioa.TraceString(c.trace)
-		if _, ok := seen[key]; ok {
-			return
-		}
-		seen[key] = struct{}{}
-		traces[ioa.TraceString(c.trace)] = c.trace
-		queue = append(queue, c)
-	}
-	for _, s := range a.Start() {
-		push(cfg{state: s})
-	}
-	for len(queue) > 0 {
-		c := queue[0]
-		queue = queue[1:]
-		if c.steps == depth {
-			continue
-		}
-		for _, act := range acts {
-			for _, nxt := range a.Next(c.state, act) {
-				tr := c.trace
-				if ext.Has(act) {
-					tr = append(append([]ioa.Action(nil), c.trace...), act)
-				}
-				push(cfg{state: nxt, trace: tr, steps: c.steps + 1})
-			}
-		}
-	}
-	list := make([][]ioa.Action, 0, len(traces))
-	for _, tr := range traces {
-		//lint:ignore nondet NewSchedModule keys schedules canonically; list order is unobservable
-		list = append(list, tr)
-	}
-	m, err := ioa.NewSchedModule(a.Sig().External(), list)
-	if err != nil {
-		return nil, err
-	}
-	return m, nil
-}
-
-// Schedules computes the set of full schedules (internal actions
-// included) of executions of a with at most depth steps, as a schedule
-// module over sig(A).
-func Schedules(a ioa.Automaton, depth int) (*ioa.SchedModule, error) {
-	acts := a.Sig().Acts().Sorted()
-	traces := make(map[string][]ioa.Action)
-	type cfg struct {
-		state ioa.State
-		trace []ioa.Action
-	}
-	var stack []cfg
-	for _, s := range a.Start() {
-		stack = append(stack, cfg{state: s})
-		traces["ε"] = nil
-	}
-	for len(stack) > 0 {
-		c := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if len(c.trace) == depth {
-			continue
-		}
-		for _, act := range acts {
-			for _, nxt := range a.Next(c.state, act) {
-				tr := append(append([]ioa.Action(nil), c.trace...), act)
-				traces[ioa.TraceString(tr)] = tr
-				stack = append(stack, cfg{state: nxt, trace: tr})
-			}
-		}
-	}
-	list := make([][]ioa.Action, 0, len(traces))
-	for _, tr := range traces {
-		//lint:ignore nondet NewSchedModule keys schedules canonically; list order is unobservable
-		list = append(list, tr)
-	}
-	return ioa.NewSchedModule(a.Sig(), list)
-}
-
-// Execs enumerates all executions of a with at most depth steps, as an
-// execution module. Intended for small finite automata (the module
-// algebra property tests).
-func Execs(a ioa.Automaton, depth int) (*ioa.ExecModule, error) {
-	acts := a.Sig().Acts().Sorted()
-	var all []*ioa.Execution
-	var rec func(x *ioa.Execution)
-	rec = func(x *ioa.Execution) {
-		all = append(all, x.Clone())
-		if x.Len() == depth {
-			return
-		}
-		for _, act := range acts {
-			for _, nxt := range a.Next(x.Last(), act) {
-				x.Append(act, nxt)
-				rec(x)
-				x.Acts = x.Acts[:len(x.Acts)-1]
-				x.States = x.States[:len(x.States)-1]
-			}
-		}
-	}
-	for _, s := range a.Start() {
-		rec(ioa.NewExecution(a, s))
-	}
-	return &ioa.ExecModule{Auto: a, Execs: all}, nil
-}
-
-// SameBehaviors reports whether a and b exhibit exactly the same
-// external behaviors up to the given execution depth, returning a
-// distinguishing trace when they differ (bounded unfair-equivalence
-// check, §2.1).
-func SameBehaviors(a, b ioa.Automaton, depth int) (bool, []ioa.Action, error) {
-	ma, err := Behaviors(a, depth)
-	if err != nil {
-		return false, nil, err
-	}
-	mb, err := Behaviors(b, depth)
-	if err != nil {
-		return false, nil, err
-	}
-	for _, tr := range ma.Traces() {
-		if !mb.Has(tr) {
-			return false, tr, nil
-		}
-	}
-	for _, tr := range mb.Traces() {
-		if !ma.Has(tr) {
-			return false, tr, nil
-		}
-	}
-	return true, nil, nil
-}
-
-// A Lasso is a reachable cycle: a stem execution from a start state to
-// a state on the cycle, plus the cycle's actions.
-type Lasso struct {
-	Stem  *ioa.Execution
-	Cycle []ioa.Action
-	// CycleStates holds the states visited around the cycle (the
-	// first equals the stem's last state).
-	CycleStates []ioa.State
-}
-
-// FindLasso searches (within the reachable states, up to limit) for a
-// cycle all of whose actions satisfy `allowed` and that contains at
-// least one action. If fair is true, the cycle must additionally be
-// fair-sustainable: every class of part(A) must either perform an
-// action on the cycle or be disabled at some state of the cycle —
-// exactly the condition under which pumping the cycle forever yields a
-// fair infinite execution (§2.2.1 condition 2). Returns nil if no such
-// lasso exists.
-func FindLasso(a ioa.Automaton, limit int, allowed func(ioa.Action) bool, fair bool) (*Lasso, error) {
-	states, err := Reach(a, limit)
-	if err != nil {
-		return nil, err
-	}
-	index := make(map[string]int, len(states))
-	for i, s := range states {
-		index[s.Key()] = i
-	}
-	acts := a.Sig().Acts().Sorted()
-	// Adjacency restricted to allowed actions.
-	adj := make([][]edge, len(states))
-	for i, s := range states {
-		for _, act := range acts {
-			if !allowed(act) {
-				continue
-			}
-			for _, nxt := range a.Next(s, act) {
-				if j, ok := index[nxt.Key()]; ok {
-					adj[i] = append(adj[i], edge{act: act, to: j})
-				}
-			}
-		}
-	}
-	// For each state, DFS for a cycle back to it through allowed edges.
-	for start := range states {
-		cycle, cycleStates := findCycleFrom(a, states, adj, start, fair)
-		if cycle == nil {
-			continue
-		}
-		stem, err := witnessTo(a, states[start])
-		if err != nil {
-			return nil, err
-		}
-		return &Lasso{Stem: stem, Cycle: cycle, CycleStates: cycleStates}, nil
-	}
-	return nil, nil
-}
-
-// edge is one transition in the reachability graph restricted to a set
-// of allowed actions.
-type edge struct {
-	act ioa.Action
-	to  int
-}
-
-// findCycleFrom searches for a nonempty path start -> ... -> start.
-// When fair is true it only accepts cycles on which every class either
-// acts or is disabled somewhere.
-func findCycleFrom(a ioa.Automaton, states []ioa.State, adj [][]edge, start int, fair bool) ([]ioa.Action, []ioa.State) {
-	// Bounded DFS over simple paths (cycle length ≤ number of states).
-	var best []ioa.Action
-	var bestStates []ioa.State
-	var dfs func(node int, acts []ioa.Action, onPath map[int]bool, path []int) bool
-	dfs = func(node int, acts []ioa.Action, onPath map[int]bool, path []int) bool {
-		for _, e := range adj[node] {
-			if e.to == start {
-				candidate := append(append([]ioa.Action(nil), acts...), e.act)
-				var cs []ioa.State
-				for _, p := range append(append([]int(nil), path...), node) {
-					cs = append(cs, states[p])
-				}
-				cs = append(cs, states[start])
-				if !fair || fairSustainable(a, candidate, cs) {
-					best = candidate
-					bestStates = cs
-					return true
-				}
-			}
-			if !onPath[e.to] && e.to != start {
-				onPath[e.to] = true
-				if dfs(e.to, append(acts, e.act), onPath, append(path, node)) {
-					return true
-				}
-				delete(onPath, e.to)
-			}
-		}
-		return false
-	}
-	onPath := map[int]bool{start: true}
-	if dfs(start, nil, onPath, nil) {
-		return best, bestStates
-	}
-	return nil, nil
-}
-
-// fairSustainable reports whether pumping the given cycle forever
-// yields a fair execution: every class either performs an action on
-// the cycle or is disabled at some cycle state.
-func fairSustainable(a ioa.Automaton, cycle []ioa.Action, cycleStates []ioa.State) bool {
-	for _, c := range a.Parts() {
-		acted := false
-		for _, act := range cycle {
-			if c.Actions.Has(act) {
-				acted = true
-				break
-			}
-		}
-		if acted {
-			continue
-		}
-		disabled := false
-		for _, s := range cycleStates {
-			if !ioa.ClassEnabled(a, s, c) {
-				disabled = true
-				break
-			}
-		}
-		if !disabled {
-			return false
-		}
-	}
-	return true
-}
-
-// witnessTo builds an execution from a start state to target using BFS.
-func witnessTo(a ioa.Automaton, target ioa.State) (*ioa.Execution, error) {
-	v, err := CheckInvariant(a, 1<<20, func(s ioa.State) bool { return s.Key() != target.Key() })
-	if err != nil {
-		return nil, err
-	}
-	if v == nil {
-		return nil, fmt.Errorf("explore: target state %q unreachable", target.Key())
-	}
-	return v.Trace, nil
-}
-
-// EnabledReport summarizes, for diagnostics, which locally-controlled
-// actions are enabled at each reachable state.
-func EnabledReport(a ioa.Automaton, limit int) (map[string][]ioa.Action, error) {
-	states, err := Reach(a, limit)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string][]ioa.Action, len(states))
-	for _, s := range states {
-		en := a.Enabled(s)
-		sort.Slice(en, func(i, j int) bool { return en[i] < en[j] })
-		out[s.Key()] = en
-	}
-	return out, nil
-}
-
-// WriteDOT renders the reachable state graph of a (up to limit states)
-// in Graphviz DOT format: one node per state, one edge per step,
-// labeled with the action. External actions are drawn solid, internal
-// actions dashed. Useful for inspecting small automata and the figure
-// examples.
-func WriteDOT(w io.Writer, a ioa.Automaton, limit int) error {
-	states, err := Reach(a, limit)
-	if err != nil {
-		return err
-	}
-	index := make(map[string]int, len(states))
-	for i, s := range states {
-		index[s.Key()] = i
-	}
-	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", a.Name()); err != nil {
-		return err
-	}
-	starts := make(map[string]bool)
-	for _, s := range a.Start() {
-		starts[s.Key()] = true
-	}
-	for i, s := range states {
-		shape := "ellipse"
-		if starts[s.Key()] {
-			shape = "doublecircle"
-		}
-		if _, err := fmt.Fprintf(w, "  n%d [label=%q, shape=%s];\n", i, s.Key(), shape); err != nil {
-			return err
-		}
-	}
-	ext := a.Sig().Ext()
-	for i, s := range states {
-		for _, act := range a.Sig().Acts().Sorted() {
-			for _, nxt := range a.Next(s, act) {
-				j, ok := index[nxt.Key()]
-				if !ok {
-					continue
-				}
-				style := "solid"
-				if !ext.Has(act) {
-					style = "dashed"
-				}
-				if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=%q, style=%s];\n", i, j, act, style); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	_, err = fmt.Fprintln(w, "}")
-	return err
+func sortStatesByKey(states []ioa.State) {
+	sort.Slice(states, func(i, j int) bool { return states[i].Key() < states[j].Key() })
 }
 
 // closedWorld removes an automaton's input actions from its signature
@@ -497,6 +55,7 @@ type closedWorld struct {
 }
 
 var _ ioa.Automaton = (*closedWorld)(nil)
+var _ ioa.Stepper = (*closedWorld)(nil)
 
 // ClosedWorld treats a composition as a closed system: residual input
 // actions — those no component outputs, i.e. pure environment actions
@@ -529,6 +88,15 @@ func (c *closedWorld) Next(s ioa.State, a ioa.Action) []ioa.State {
 		return nil
 	}
 	return c.inner.Next(s, a)
+}
+
+// VisitNext implements ioa.Stepper: removed environment inputs have no
+// steps; everything else delegates to the inner automaton's fast path.
+func (c *closedWorld) VisitNext(s ioa.State, a ioa.Action, yield func(ioa.State) bool) bool {
+	if !c.sig.HasAction(a) {
+		return true
+	}
+	return ioa.VisitNext(c.inner, s, a, yield)
 }
 
 // Enabled implements Automaton.

@@ -1,0 +1,54 @@
+package explore
+
+// The shared flag-to-Options builder for the CLIs. ioasim and
+// arbiterbench both expose exploration knobs; before PR 5 each parsed
+// its own copies and the two binaries drifted (different defaults,
+// different help strings). BindFlags registers one canonical set of
+// flags on a FlagSet and Flags.Options resolves them into the Options
+// every Engine consumes.
+
+import (
+	"flag"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Flags holds the parsed exploration flag values registered by
+// BindFlags, pending resolution into Options.
+type Flags struct {
+	workers *int
+	limit   *int
+	dedup   *bool
+}
+
+// BindFlags registers the shared exploration flags (-workers, -limit,
+// -dedup) on fs and returns the handle that resolves them after
+// fs.Parse.
+func BindFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		workers: fs.Int("workers", 0, "exploration worker goroutines (0 = GOMAXPROCS, 1 = sequential)"),
+		limit:   fs.Int("limit", DefaultLimit, "exploration state budget"),
+		dedup:   fs.Bool("dedup", false, "sender-side duplicate suppression in the parallel explorer"),
+	}
+}
+
+// Options resolves the parsed flags into engine Options, attaching the
+// run's observability handle (nil disables instrumentation) and an
+// optional measurement clock.
+func (f *Flags) Options(o *obs.Obs, now func() time.Time) Options {
+	return Options{
+		Workers: *f.workers,
+		Limit:   *f.limit,
+		Dedup:   *f.dedup,
+		Obs:     o,
+		Now:     now,
+	}
+}
+
+// Workers returns the parsed worker count (for CLI paths that need the
+// raw value, e.g. bench sweeps).
+func (f *Flags) Workers() int { return *f.workers }
+
+// Limit returns the parsed state budget.
+func (f *Flags) Limit() int { return *f.limit }

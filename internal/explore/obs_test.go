@@ -89,3 +89,21 @@ func TestObsStatesCounterAtLimit(t *testing.T) {
 		t.Errorf("explore.states_admitted = %d, want 10", got)
 	}
 }
+
+// TestObsStoreGauges checks both engines publish the state store's
+// occupancy and arena footprint through the obs gauges (PR 5).
+func TestObsStoreGauges(t *testing.T) {
+	for _, w := range []int{1, 3} {
+		o := obs.New(nil)
+		states, err := New(Options{Workers: w, Obs: o}).Reach(nil, modCounters(3, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := o.Store.Occupancy.Value(); got != int64(len(states)) {
+			t.Errorf("workers %d: store.occupancy = %d, want %d", w, got, len(states))
+		}
+		if o.Store.ArenaBytes.Value() <= 0 {
+			t.Errorf("workers %d: store.arena_bytes = %d, want > 0", w, o.Store.ArenaBytes.Value())
+		}
+	}
+}

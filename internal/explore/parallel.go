@@ -1,27 +1,34 @@
 package explore
 
-// Parallel sharded state-space exploration. The engine runs a
-// level-synchronized BFS: each level's frontier is expanded by a pool
-// of workers that steal fixed-size chunks of the frontier off a shared
-// cursor, successors are routed to per-(worker, shard) outboxes, and
-// at the level barrier each shard's owner merges its inbox against the
-// shard-local seen map. States are assigned to shards by a hash of
-// State.Key(), so no two goroutines ever write the same map.
+// Parallel sharded state-space exploration over the interned state
+// store. The engine runs a level-synchronized BFS: each level's
+// frontier is expanded by a pool of workers that steal fixed-size
+// chunks of the frontier off a shared cursor, successors are routed to
+// per-(worker, shard) outboxes, and at the level barrier each shard's
+// owner merges its inbox, deduplicating within the level. The store is
+// frozen (read-only, probed through per-worker store.Probes) during
+// expansion and written only between levels by the coordinator, which
+// interns each new level in canonical key-sorted order — so no two
+// goroutines ever write shared state, and dense IDs replace the seed's
+// per-shard map[string] seen maps, parent-key strings, and witness
+// reconstruction keys.
 //
 // Determinism argument. The set of states discovered at depth d is a
 // pure function of the set at depths < d — it does not depend on which
-// worker expanded which state, because membership is decided at the
-// barrier against seen maps that are frozen during expansion. Each
-// level is canonically sorted by key before it is appended to the
-// result, so ParallelReach returns a bit-identical slice on every run
-// with any worker count: all states of depth d, ordered by key,
-// preceded by all states of smaller depth. Witness parents are also
-// canonical: when several transitions discover the same state in one
-// level, the merge keeps the lexicographically least (parent key,
-// action) pair, which is the global minimum over all candidates no
-// matter how the level's work was split.
+// worker expanded which state, because membership is decided against a
+// store that is frozen during expansion and written only at the
+// barrier. Each level is canonically sorted by key before it is
+// interned and appended to the result, so Reach returns a
+// bit-identical slice on every run with any worker count: all states
+// of depth d, ordered by key, preceded by all states of smaller depth.
+// Witness parents are also canonical: when several transitions
+// discover the same state in one level, the merge keeps the least
+// (parent ID, action) pair. That coincides with the seed's least
+// (parent key, action) rule because every candidate parent of a
+// depth-d state lies in the depth-(d-1) frontier, and within one level
+// ID order equals key order by the sorted-interning invariant.
 //
-// Where the sequential explorer probes Next(s, π) for every action π
+// Where the sequential explorer probes successors for every action π
 // of the signature, the engine expands only Enabled(s) plus the input
 // actions. This is exact for I/O automata: inputs are enabled in every
 // state (the input-enabledness axiom, §2.1), and a locally-controlled
@@ -32,8 +39,9 @@ package explore
 // the sequential sweep on every seed.
 
 import (
+	"bytes"
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -41,171 +49,60 @@ import (
 
 	"repro/internal/ioa"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
-// DefaultLimit is the state budget used when Options.Limit is zero.
-const DefaultLimit = 1 << 20
-
-// Options parameterizes state-space exploration.
-type Options struct {
-	// Workers is the number of exploration goroutines. 0 means
-	// GOMAXPROCS; 1 runs the engine degenerate (single worker).
-	Workers int
-	// Limit is the maximum number of states to admit (0 =
-	// DefaultLimit). The ErrLimit contract matches the sequential
-	// explorer: the partial result holds exactly Limit states (all
-	// complete BFS levels plus a canonical prefix of the boundary
-	// level) and ErrLimit is returned iff an unseen state remains.
-	Limit int
-	// Dedup enables sender-side duplicate suppression: each worker
-	// additionally filters the successors it forwards through a local
-	// per-level table, reducing outbox traffic on diamond-heavy state
-	// graphs. Results are identical with it on or off.
-	Dedup bool
-	// Obs, when non-nil, enables observability: per-level spans and
-	// frontier/latency histograms, per-worker expansion spans, and
-	// successor/dedup counters. Nil (the default) is the disabled fast
-	// path — the engine performs no clock reads and no metric writes.
-	// Observability never affects the explored state set.
-	Obs *obs.Obs
-}
-
-// workers resolves the worker count.
-func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
-	}
-	if o.Workers == 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return 1
-}
-
-// limit resolves the state budget.
-func (o Options) limit() int {
-	if o.Limit > 0 {
-		return o.Limit
-	}
-	return DefaultLimit
-}
-
-// ReachOpts is Reach with an options struct: sequential when
-// opts.Workers resolves to one worker, sharded-parallel otherwise.
-// Both paths return the same state set and the same error behavior.
-func ReachOpts(a ioa.Automaton, opts Options) ([]ioa.State, error) {
-	if opts.workers() <= 1 {
-		o := opts.Obs
-		var end func()
-		if o != nil {
-			end = o.Tracer.Span(0, "explore", "reach-seq "+a.Name())
-		}
-		states, err := Reach(a, opts.limit())
-		if o != nil {
-			end()
-			o.Explore.States.Add(int64(len(states)))
-		}
-		return states, err
-	}
-	return ParallelReach(a, opts)
-}
-
-// CheckInvariantOpts is CheckInvariant with an options struct,
-// dispatching exactly like ReachOpts.
-func CheckInvariantOpts(a ioa.Automaton, opts Options, pred func(ioa.State) bool) (*Violation, error) {
-	if opts.workers() <= 1 {
-		if o := opts.Obs; o != nil {
-			defer o.Tracer.Span(0, "explore", "check-seq "+a.Name())()
-		}
-		return CheckInvariant(a, opts.limit(), pred)
-	}
-	return ParallelCheck(a, opts, pred)
-}
-
-// ParallelReach computes the reachable states of a with a sharded
-// worker pool. The returned slice is deterministic (independent of
-// scheduling and worker count): states appear in BFS-depth order,
-// canonically sorted by key within each depth. The state SET is
-// identical to Reach's; on ErrLimit the partial result has exactly
-// opts.Limit states, like Reach's.
-func ParallelReach(a ioa.Automaton, opts Options) ([]ioa.State, error) {
-	order, _, err := parallelExplore(a, opts, nil)
-	return order, err
-}
-
-// ParallelCheck explores like ParallelReach and checks pred at every
-// admitted state, returning a violation with a minimal-length witness
-// trace. The verdict (violation vs none) agrees with CheckInvariant
-// whenever the reachable state count is below the limit. Under budget
-// exhaustion both return ErrLimit, except that ParallelCheck checks
-// the entire boundary level before giving up and so may report a
-// genuine violation where CheckInvariant reports ErrLimit; any
-// violation reported is a true, reachable violation. pred is only
-// called from the coordinating goroutine and need not be thread-safe.
-func ParallelCheck(a ioa.Automaton, opts Options, pred func(ioa.State) bool) (*Violation, error) {
-	if pred == nil {
-		return nil, fmt.Errorf("explore: ParallelCheck: nil predicate")
-	}
-	_, v, err := parallelExplore(a, opts, pred)
-	return v, err
-}
-
-// crumb is one discovered state plus the canonical transition that
-// first (in the lexicographic sense) discovered it.
+// crumb is the canonical discovery record of one interned state,
+// indexed by its dense ID: the least (parent ID, action) transition
+// that reached it. Start states carry parent store.None.
 type crumb struct {
-	state  ioa.State
-	parent string // key of the predecessor; "" for start states
+	parent store.ID
 	act    ioa.Action
-	depth  int
 }
 
-// crumbLess orders candidate crumbs for the same state: least
-// (parent, act) wins, making witness traces deterministic.
-func crumbLess(a, b crumb) bool {
+// cand is one candidate new state found during a level expansion,
+// before merge-time deduplication. hash is the FNV-64a of the state's
+// encoding, computed by the worker's probe and reused for shard
+// routing and merge bucketing.
+type cand struct {
+	state  ioa.State
+	parent store.ID
+	act    ioa.Action
+	hash   uint64
+}
+
+// candLess orders candidate crumbs for the same state: least
+// (parent, act) wins, making witness traces deterministic. parent IDs
+// are comparable as keys because all candidates' parents sit in the
+// same (key-sorted-interned) level.
+func candLess(a, b cand) bool {
 	if a.parent != b.parent {
 		return a.parent < b.parent
 	}
 	return a.act < b.act
 }
 
-// shardOf assigns a state key to a shard (FNV-1a over the last 32
-// bytes; structured keys share long prefixes, so the tail carries the
-// entropy and the scan stays O(1) on big composite states).
-func shardOf(key string, n int) int {
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	start := 0
-	if len(key) > 32 {
-		start = len(key) - 32
-	}
-	h := uint32(offset32)
-	for i := start; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= prime32
-	}
-	return int(h % uint32(n))
+func sortCandsByKey(cands []cand) {
+	// States carry cached keys (TupleState, the faults wrappers), so
+	// Key() here is a field read, not an encode.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].state.Key() < cands[j].state.Key() })
 }
 
-func sortStatesByKey(states []ioa.State) {
-	sort.Slice(states, func(i, j int) bool { return states[i].Key() < states[j].Key() })
-}
+func errNilPred() error { return fmt.Errorf("explore: ParallelCheck: nil predicate") }
 
-func errLimit(a ioa.Automaton, limit int) error {
-	return fmt.Errorf("%w: limit %d on %s", ErrLimit, limit, a.Name())
-}
-
-// parallelExplore is the shared engine under ParallelReach and
-// ParallelCheck. When pred is non-nil it is evaluated on every level
-// in canonical order and the first failing state is returned as a
-// Violation with a witness built from the canonical crumb chain.
-func parallelExplore(a ioa.Automaton, opts Options, pred func(ioa.State) bool) ([]ioa.State, *Violation, error) {
-	w := opts.workers()
+// parallelExplore is the shared engine under the parallel Reach and
+// CheckInvariant paths. When pred is non-nil it is evaluated on every
+// level in canonical order and the first failing state is returned as
+// a Violation with a witness built from the canonical crumb chain.
+// Cancellation is checked at level granularity.
+func (e *Engine) parallelExplore(ctx context.Context, a ioa.Automaton, pred func(ioa.State) bool) ([]ioa.State, *Violation, error) {
+	ctx = ctxOr(ctx)
+	w := e.opts.workers()
 	if w < 1 {
 		w = 1
 	}
-	limit := opts.limit()
-	o := opts.Obs
+	limit := e.opts.limit()
+	o := e.opts.Obs
 	if o != nil {
 		o.Tracer.NameThread(0, "coordinator")
 		for wi := 0; wi < w; wi++ {
@@ -214,108 +111,125 @@ func parallelExplore(a ioa.Automaton, opts Options, pred func(ioa.State) bool) (
 		defer o.Tracer.Span(0, "explore", "explore "+a.Name())()
 	}
 	inputs := a.Sig().Inputs().Sorted()
-	shards := make([]map[string]crumb, w)
-	for i := range shards {
-		shards[i] = make(map[string]crumb)
+	gst := store.New(store.Options{})
+	var states []ioa.State // indexed by ID; also the returned order
+	var crumbs []crumb     // indexed by ID
+	probes := make([]*store.Probe, w)
+	for i := range probes {
+		probes[i] = gst.NewProbe()
 	}
 
-	// Level 0: the start states, deduplicated and canonically sorted.
-	// Like the sequential explorer, starts are admitted regardless of
-	// the limit.
-	var level []ioa.State
-	for _, s := range a.Start() {
-		key := s.Key()
-		h := shardOf(key, w)
-		if _, ok := shards[h][key]; ok {
-			continue
+	// Level 0: the start states, canonically sorted then interned in
+	// that order (deduplicating), establishing the ID-order-equals-
+	// key-order-within-a-level invariant the determinism argument
+	// needs. Like the sequential explorer, starts are admitted
+	// regardless of the limit.
+	starts := append([]ioa.State(nil), a.Start()...)
+	sortStatesByKey(starts)
+	var level []store.ID
+	for _, s := range starts {
+		if id, fresh := gst.Intern(s); fresh {
+			states = append(states, s)
+			crumbs = append(crumbs, crumb{parent: store.None})
+			level = append(level, id)
 		}
-		shards[h][key] = crumb{state: s, depth: 0}
-		level = append(level, s)
 	}
-	sortStatesByKey(level)
-	order := append([]ioa.State(nil), level...)
+	storeGauges(o, gst)
 	if o != nil {
-		o.Explore.States.Add(int64(len(order)))
+		o.Explore.States.Add(int64(len(states)))
 	}
 	if pred != nil {
-		if v, err := checkLevel(a, shards, level, pred); v != nil || err != nil {
-			return order, v, err
+		if v := checkLevel(a, states, crumbs, 0, pred); v != nil {
+			return states, v, nil
 		}
-		if len(order) >= limit {
-			return order, nil, errLimit(a, limit)
+		if len(states) >= limit {
+			return states, nil, errLimit(a, limit)
 		}
 	}
 
 	for depth := 1; len(level) > 0; depth++ {
-		var levelStart time.Time
-		if o != nil {
-			levelStart = o.Tracer.Now()
-			o.Explore.Frontier.Observe(int64(len(level)))
+		if err := ctx.Err(); err != nil {
+			return states, nil, err
 		}
-		next := expandLevel(a, inputs, level, shards, opts.Dedup, depth, o)
+		var traceStart, levelStart time.Time
+		if o != nil {
+			traceStart = o.Tracer.Now()
+			levelStart = traceStart
+			if e.opts.Now != nil {
+				levelStart = e.opts.Now()
+			}
+		}
+		next := e.expandLevel(a, inputs, states, level, probes, depth, o)
 		if o != nil {
 			o.Explore.Levels.Add(1)
-			if o.Tracer != nil {
-				o.Explore.LevelNS.Observe(o.Tracer.Now().Sub(levelStart).Nanoseconds())
-				o.Tracer.Complete(0, "explore", fmt.Sprintf("level %d", depth), levelStart,
-					map[string]any{"frontier": len(level), "new": len(next)})
-				o.Tracer.CounterEvent(0, "memo", o.Memo.Values())
+			o.Explore.Frontier.Observe(int64(len(level)))
+			end := o.Tracer.Now()
+			levelEnd := end
+			if e.opts.Now != nil {
+				levelEnd = e.opts.Now()
 			}
+			o.Explore.LevelNS.Observe(levelEnd.Sub(levelStart).Nanoseconds())
+			o.Tracer.Complete(0, "explore", fmt.Sprintf("level %d", depth), traceStart,
+				map[string]any{"frontier": len(level), "new": len(next)})
+			o.Tracer.CounterEvent(0, "memo", o.Memo.Values())
 		}
 		if len(next) == 0 {
 			break
 		}
-		room := limit - len(order)
+		room := limit - len(states)
 		if room <= 0 {
 			// An unseen state exists beyond a full budget: the
 			// sequential contract returns the partial result as-is.
-			return order, nil, errLimit(a, limit)
+			storeGauges(o, gst)
+			return states, nil, errLimit(a, limit)
 		}
-		if len(next) > room {
-			admitted := next[:room]
-			order = append(order, admitted...)
-			if o != nil {
-				o.Explore.States.Add(int64(len(admitted)))
-			}
-			if pred != nil {
-				if v, err := checkLevel(a, shards, admitted, pred); v != nil || err != nil {
-					return order, v, err
-				}
-			}
-			return order, nil, errLimit(a, limit)
+		over := len(next) > room
+		if over {
+			next = next[:room]
 		}
-		order = append(order, next...)
+		from := len(states)
+		level = level[:0]
+		for _, c := range next {
+			id, _ := gst.Intern(c.state)
+			states = append(states, c.state)
+			crumbs = append(crumbs, crumb{parent: c.parent, act: c.act})
+			level = append(level, id)
+		}
+		storeGauges(o, gst)
 		if o != nil {
 			o.Explore.States.Add(int64(len(next)))
 		}
 		if pred != nil {
-			if v, err := checkLevel(a, shards, next, pred); v != nil || err != nil {
-				return order, v, err
-			}
-			if len(order) >= limit {
-				// Mirror CheckInvariant's stricter budget check: it
-				// errors once the node store is full even when the
-				// frontier is about to empty.
-				return order, nil, errLimit(a, limit)
+			if v := checkLevel(a, states, crumbs, from, pred); v != nil {
+				return states, v, nil
 			}
 		}
-		level = next
+		if over {
+			return states, nil, errLimit(a, limit)
+		}
+		if pred != nil && len(states) >= limit {
+			// Mirror CheckInvariant's stricter budget check: it errors
+			// once the node store is full even when the frontier is
+			// about to empty.
+			return states, nil, errLimit(a, limit)
+		}
 	}
-	return order, nil, nil
+	storeGauges(o, gst)
+	return states, nil, nil
 }
 
-// expandLevel computes the set of undiscovered successors of level,
-// records them (with canonical crumbs) in the shard seen maps, and
-// returns them sorted by key. During expansion the seen maps are
-// frozen (read-only), so workers may consult them freely; all writes
-// happen in the per-shard merge after the barrier, one goroutine per
-// shard. Successors of a state are generated from Enabled(s) plus the
-// input actions (exact by input-enabledness — see the package note).
-func expandLevel(a ioa.Automaton, inputs []ioa.Action, level []ioa.State,
-	shards []map[string]crumb, dedup bool, depth int, o *obs.Obs) []ioa.State {
-	w := len(shards)
+// expandLevel computes the candidate set of undiscovered successors of
+// level and returns it deduplicated (canonical least crumb per state)
+// and sorted by key, ready for the coordinator to intern in order.
+// During expansion the store is frozen, so workers probe it freely
+// through their per-worker probes; merge-time dedup runs one goroutine
+// per shard over hash-routed outboxes, comparing encodings byte-wise
+// against a per-shard scratch arena (hashes route, bytes decide).
+func (e *Engine) expandLevel(a ioa.Automaton, inputs []ioa.Action, states []ioa.State,
+	level []store.ID, probes []*store.Probe, depth int, o *obs.Obs) []cand {
+	w := len(probes)
 	// outboxes[worker][shard] holds candidate crumbs.
-	outboxes := make([][][]crumb, w)
+	outboxes := make([][][]cand, w)
 	var cursor int64
 	const chunk = 16
 	var wg sync.WaitGroup
@@ -332,14 +246,26 @@ func expandLevel(a ioa.Automaton, inputs []ioa.Action, level []ioa.State,
 			if o != nil {
 				workStart = o.Tracer.Now()
 			}
-			buckets := make([][]crumb, w)
-			// Sender-side dedup: position of the candidate already
-			// emitted for a key, so a better (lexicographically
-			// smaller) crumb can replace it in place.
-			type pos struct{ shard, idx int }
-			var local map[string]pos
-			if dedup {
-				local = make(map[string]pos)
+			probe := probes[wi]
+			buckets := make([][]cand, w)
+			var local *senderDedup
+			if e.opts.Dedup {
+				local = newSenderDedup()
+			}
+			var curParent store.ID
+			var curAct ioa.Action
+			yield := func(nxt ioa.State) bool {
+				if _, h, ok := probe.Lookup(nxt); !ok {
+					c := cand{state: nxt, parent: curParent, act: curAct, hash: h}
+					emitted++
+					sh := int(h % uint64(w))
+					if local != nil && local.absorb(buckets, sh, c, probe.Bytes()) {
+						dedupHits++
+					} else {
+						buckets[sh] = append(buckets[sh], c)
+					}
+				}
+				return true
 			}
 			for {
 				start := int(atomic.AddInt64(&cursor, chunk)) - chunk
@@ -350,37 +276,18 @@ func expandLevel(a ioa.Automaton, inputs []ioa.Action, level []ioa.State,
 				if end > len(level) {
 					end = len(level)
 				}
-				emit := func(s ioa.State, key string, act ioa.Action) {
-					for _, nxt := range a.Next(s, act) {
-						nk := nxt.Key()
-						h := shardOf(nk, w)
-						if _, ok := shards[h][nk]; ok {
-							continue // discovered at an earlier level
-						}
-						c := crumb{state: nxt, parent: key, act: act, depth: depth}
-						emitted++
-						if dedup {
-							if p, ok := local[nk]; ok {
-								if crumbLess(c, buckets[p.shard][p.idx]) {
-									buckets[p.shard][p.idx] = c
-								}
-								dedupHits++
-								continue
-							}
-							local[nk] = pos{shard: h, idx: len(buckets[h])}
-						}
-						buckets[h] = append(buckets[h], c)
-					}
-				}
-				for _, s := range level[start:end] {
-					key := s.Key()
+				for _, id := range level[start:end] {
+					s := states[id]
+					curParent = id
 					// Do not mutate the Enabled result: the memo layer
 					// may hand out a shared cached slice.
 					for _, act := range a.Enabled(s) {
-						emit(s, key, act)
+						curAct = act
+						ioa.VisitNext(a, s, act, yield)
 					}
 					for _, act := range inputs {
-						emit(s, key, act)
+						curAct = act
+						ioa.VisitNext(a, s, act, yield)
 					}
 				}
 			}
@@ -397,88 +304,118 @@ func expandLevel(a ioa.Automaton, inputs []ioa.Action, level []ioa.State,
 
 	// Per-shard merge: each shard's owner drains every worker's
 	// outbox for that shard, keeping the canonical (least) crumb per
-	// newly discovered key.
-	newPerShard := make([][]ioa.State, w)
+	// newly discovered state.
+	merged := make([][]cand, w)
 	for h := 0; h < w; h++ {
 		wg.Add(1)
 		go func(h int) {
 			defer wg.Done()
-			seen := shards[h]
+			var cands []cand
+			pending := make(map[uint64][]int) // hash -> indices into cands
+			var arena []byte
+			var locs [][2]int // per-cand [offset, length] into arena
+			var buf []byte
 			for wi := 0; wi < w; wi++ {
 				for _, c := range outboxes[wi][h] {
-					k := c.state.Key()
-					if prev, ok := seen[k]; ok {
-						if prev.depth == depth && crumbLess(c, prev) {
-							seen[k] = c
+					buf = ioa.AppendState(buf[:0], c.state)
+					dup := false
+					for _, ci := range pending[c.hash] {
+						l := locs[ci]
+						if bytes.Equal(arena[l[0]:l[0]+l[1]], buf) {
+							if candLess(c, cands[ci]) {
+								cands[ci] = c
+							}
+							dup = true
+							break
 						}
+					}
+					if dup {
 						continue
 					}
-					seen[k] = c
-					newPerShard[h] = append(newPerShard[h], c.state)
+					pending[c.hash] = append(pending[c.hash], len(cands))
+					locs = append(locs, [2]int{len(arena), len(buf)})
+					arena = append(arena, buf...)
+					cands = append(cands, c)
 				}
 			}
+			merged[h] = cands
 		}(h)
 	}
 	wg.Wait()
 
-	var next []ioa.State
+	var next []cand
 	for h := 0; h < w; h++ {
-		next = append(next, newPerShard[h]...)
+		next = append(next, merged[h]...)
 	}
-	sortStatesByKey(next)
+	sortCandsByKey(next)
 	return next
 }
 
-// checkLevel evaluates pred over a level in canonical order and turns
-// the first failure into a Violation with a crumb-chain witness.
-func checkLevel(a ioa.Automaton, shards []map[string]crumb, level []ioa.State, pred func(ioa.State) bool) (*Violation, error) {
-	for _, s := range level {
-		if pred(s) {
+// senderDedup is the optional worker-local duplicate filter
+// (Options.Dedup): it remembers the encoding of every candidate the
+// worker has emitted this level, so a repeat discovery is resolved in
+// place (keeping the lexicographically lesser crumb) instead of
+// traveling to the merge. Hashes bucket, bytes decide.
+type senderDedup struct {
+	pos   map[uint64][]dedupPos
+	arena []byte
+}
+
+// dedupPos locates an emitted candidate: its outbox slot and its
+// encoding within the dedup arena.
+type dedupPos struct {
+	shard, idx int
+	off, n     int
+}
+
+func newSenderDedup() *senderDedup {
+	return &senderDedup{pos: make(map[uint64][]dedupPos)}
+}
+
+// absorb resolves c against the already-emitted candidates. It returns
+// true when c was a duplicate (possibly improving the stored crumb in
+// place); false means c is new and was recorded — the caller must then
+// append it to buckets[sh].
+func (d *senderDedup) absorb(buckets [][]cand, sh int, c cand, enc []byte) bool {
+	for _, p := range d.pos[c.hash] {
+		if bytes.Equal(d.arena[p.off:p.off+p.n], enc) {
+			if candLess(c, buckets[p.shard][p.idx]) {
+				buckets[p.shard][p.idx] = c
+			}
+			return true
+		}
+	}
+	d.pos[c.hash] = append(d.pos[c.hash], dedupPos{shard: sh, idx: len(buckets[sh]), off: len(d.arena), n: len(enc)})
+	d.arena = append(d.arena, enc...)
+	return false
+}
+
+// checkLevel evaluates pred over the newly admitted states (IDs from
+// .. len(states)) in canonical order and turns the first failure into
+// a Violation with a crumb-chain witness.
+func checkLevel(a ioa.Automaton, states []ioa.State, crumbs []crumb, from int, pred func(ioa.State) bool) *Violation {
+	for i := from; i < len(states); i++ {
+		if pred(states[i]) {
 			continue
 		}
-		trace, err := witnessFromCrumbs(a, shards, s)
-		if err != nil {
-			return nil, err
-		}
-		return &Violation{State: s, Trace: trace}, nil
+		return &Violation{State: states[i], Trace: witnessFromCrumbs(a, states, crumbs, store.ID(i))}
 	}
-	return nil, nil
+	return nil
 }
 
 // witnessFromCrumbs rebuilds the canonical minimal-length execution
-// from a start state to target by following parent crumbs.
-func witnessFromCrumbs(a ioa.Automaton, shards []map[string]crumb, target ioa.State) (*ioa.Execution, error) {
-	var rev []crumb
-	key := target.Key()
-	for {
-		c, ok := shards[shardOf(key, len(shards))][key]
-		if !ok {
-			return nil, fmt.Errorf("explore: internal error: no crumb for state %q", key)
-		}
-		rev = append(rev, c)
-		if c.parent == "" {
+// from a start state to target by following parent IDs.
+func witnessFromCrumbs(a ioa.Automaton, states []ioa.State, crumbs []crumb, target store.ID) *ioa.Execution {
+	var rev []store.ID
+	for id := target; ; id = crumbs[id].parent {
+		rev = append(rev, id)
+		if crumbs[id].parent == store.None {
 			break
 		}
-		key = c.parent
 	}
-	x := ioa.NewExecution(a, rev[len(rev)-1].state)
+	x := ioa.NewExecution(a, states[rev[len(rev)-1]])
 	for i := len(rev) - 2; i >= 0; i-- {
-		x.Append(rev[i].act, rev[i].state)
+		x.Append(crumbs[rev[i]].act, states[rev[i]])
 	}
-	return x, nil
-}
-
-// DeadlocksOpts is Deadlocks over the options-driven explorer.
-func DeadlocksOpts(a ioa.Automaton, opts Options) ([]ioa.State, error) {
-	states, err := ReachOpts(a, opts)
-	if err != nil {
-		return nil, err
-	}
-	var out []ioa.State
-	for _, s := range states {
-		if len(a.Enabled(s)) == 0 {
-			out = append(out, s)
-		}
-	}
-	return out, nil
+	return x
 }

@@ -3,6 +3,9 @@ package explore
 import (
 	"runtime"
 	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/store"
 )
 
 func TestOptionsResolution(t *testing.T) {
@@ -27,29 +30,56 @@ func TestParallelCheckNilPred(t *testing.T) {
 	if _, err := ParallelCheck(nil, Options{}, nil); err == nil {
 		t.Fatal("nil predicate accepted")
 	}
+	e := New(Options{Workers: 1})
+	if _, err := e.CheckInvariant(nil, nil, nil); err == nil {
+		t.Fatal("Engine.CheckInvariant accepted nil predicate")
+	}
 }
 
-func TestCrumbLess(t *testing.T) {
-	a := crumb{parent: "p1", act: "x"}
-	b := crumb{parent: "p2", act: "a"}
-	if !crumbLess(a, b) || crumbLess(b, a) {
-		t.Error("parent key must dominate")
+func TestCandLess(t *testing.T) {
+	a := cand{parent: 1, act: "x"}
+	b := cand{parent: 2, act: "a"}
+	if !candLess(a, b) || candLess(b, a) {
+		t.Error("parent ID must dominate")
 	}
-	c := crumb{parent: "p1", act: "y"}
-	if !crumbLess(a, c) || crumbLess(c, a) {
+	c := cand{parent: 1, act: "y"}
+	if !candLess(a, c) || candLess(c, a) {
 		t.Error("action breaks parent ties")
 	}
 }
 
-func TestShardOfStable(t *testing.T) {
-	keys := []string{"", "a", "abc", string(make([]byte, 100))}
-	for _, k := range keys {
-		h := shardOf(k, 8)
-		if h < 0 || h >= 8 {
-			t.Fatalf("shardOf(%q, 8) = %d out of range", k, h)
-		}
-		if shardOf(k, 8) != h {
-			t.Fatalf("shardOf not deterministic for %q", k)
-		}
+func TestSenderDedupAbsorb(t *testing.T) {
+	d := newSenderDedup()
+	buckets := make([][]cand, 2)
+	enc := []byte("state-a")
+	h := store.Hash(enc)
+	c1 := cand{state: ioa.KeyState("state-a"), parent: 5, act: "z", hash: h}
+	if d.absorb(buckets, 1, c1, enc) {
+		t.Fatal("first emission reported as duplicate")
+	}
+	buckets[1] = append(buckets[1], c1)
+	// A lexicographically better crumb for the same state must be
+	// absorbed and replace the stored one in place.
+	c2 := cand{state: ioa.KeyState("state-a"), parent: 3, act: "a", hash: h}
+	if !d.absorb(buckets, 1, c2, enc) {
+		t.Fatal("duplicate not detected")
+	}
+	if got := buckets[1][0]; got.parent != 3 || got.act != "a" {
+		t.Fatalf("crumb not improved in place: %+v", got)
+	}
+	// A worse crumb is absorbed without replacing.
+	c3 := cand{state: ioa.KeyState("state-a"), parent: 9, act: "q", hash: h}
+	if !d.absorb(buckets, 1, c3, enc) {
+		t.Fatal("duplicate not detected")
+	}
+	if got := buckets[1][0]; got.parent != 3 {
+		t.Fatalf("worse crumb overwrote better one: %+v", got)
+	}
+	// A different state sharing the hash must NOT be merged: bytes
+	// decide, hashes only route.
+	other := []byte("state-b")
+	c4 := cand{state: ioa.KeyState("state-b"), parent: 0, act: "a", hash: h}
+	if d.absorb(buckets, 0, c4, other) {
+		t.Fatal("distinct state merged on hash collision")
 	}
 }

@@ -1,0 +1,144 @@
+package explore
+
+// Deprecated top-level entry points, kept as thin shims over the
+// Engine facade so downstream callers and tests keep compiling.
+// New code — and every internal package, enforced by the CI
+// deprecation grep — constructs an Engine instead:
+//
+//	states, err := explore.New(opts).Reach(ctx, a)
+//
+// The shims run with context.Background() (no cancellation), and the
+// positional-limit forms run the sequential engine, exactly like the
+// pre-facade functions they replace.
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/ioa"
+)
+
+// Reach computes the reachable states of a, in BFS order, visiting at
+// most limit states. It returns ErrLimit (with the partial result) if
+// the limit is hit before the frontier empties.
+//
+// Deprecated: use New(Options{Limit: limit}).Reach(ctx, a).
+func Reach(a ioa.Automaton, limit int) ([]ioa.State, error) {
+	return New(Options{Workers: 1, Limit: limit}).Reach(context.Background(), a)
+}
+
+// CheckInvariant explores reachable states (up to limit) and checks
+// pred at each. It returns the first violation found (with a witness
+// trace), or nil if the invariant holds on all explored states.
+//
+// Deprecated: use New(Options{Limit: limit}).CheckInvariant(ctx, a, pred).
+func CheckInvariant(a ioa.Automaton, limit int, pred func(ioa.State) bool) (*Violation, error) {
+	return New(Options{Workers: 1, Limit: limit}).CheckInvariant(context.Background(), a, pred)
+}
+
+// Deadlocks returns the reachable states from which no
+// locally-controlled action is enabled.
+//
+// Deprecated: use New(Options{Limit: limit}).Deadlocks(ctx, a).
+func Deadlocks(a ioa.Automaton, limit int) ([]ioa.State, error) {
+	return New(Options{Workers: 1, Limit: limit}).Deadlocks(context.Background(), a)
+}
+
+// Behaviors computes the external behaviors of executions of a with at
+// most depth steps.
+//
+// Deprecated: use New(Options{}).Behaviors(ctx, a, depth).
+func Behaviors(a ioa.Automaton, depth int) (*ioa.SchedModule, error) {
+	return New(Options{Workers: 1}).Behaviors(context.Background(), a, depth)
+}
+
+// Schedules computes the full schedules of executions of a with at
+// most depth steps.
+//
+// Deprecated: use New(Options{}).Schedules(ctx, a, depth).
+func Schedules(a ioa.Automaton, depth int) (*ioa.SchedModule, error) {
+	return New(Options{Workers: 1}).Schedules(context.Background(), a, depth)
+}
+
+// Execs enumerates all executions of a with at most depth steps.
+//
+// Deprecated: use New(Options{}).Execs(ctx, a, depth).
+func Execs(a ioa.Automaton, depth int) (*ioa.ExecModule, error) {
+	return New(Options{Workers: 1}).Execs(context.Background(), a, depth)
+}
+
+// SameBehaviors reports whether a and b exhibit exactly the same
+// external behaviors up to the given execution depth.
+//
+// Deprecated: use New(Options{}).SameBehaviors(ctx, a, b, depth).
+func SameBehaviors(a, b ioa.Automaton, depth int) (bool, []ioa.Action, error) {
+	return New(Options{Workers: 1}).SameBehaviors(context.Background(), a, b, depth)
+}
+
+// FindLasso searches the reachable states (up to limit) for an
+// allowed-action cycle, optionally fair-sustainable.
+//
+// Deprecated: use New(Options{Limit: limit}).FindLasso(ctx, a, allowed, fair).
+func FindLasso(a ioa.Automaton, limit int, allowed func(ioa.Action) bool, fair bool) (*Lasso, error) {
+	return New(Options{Workers: 1, Limit: limit}).FindLasso(context.Background(), a, allowed, fair)
+}
+
+// EnabledReport summarizes which locally-controlled actions are
+// enabled at each reachable state.
+//
+// Deprecated: use New(Options{Limit: limit}).EnabledReport(ctx, a).
+func EnabledReport(a ioa.Automaton, limit int) (map[string][]ioa.Action, error) {
+	return New(Options{Workers: 1, Limit: limit}).EnabledReport(context.Background(), a)
+}
+
+// WriteDOT renders the reachable state graph of a in Graphviz DOT
+// format.
+//
+// Deprecated: use New(Options{Limit: limit}).WriteDOT(ctx, w, a).
+func WriteDOT(w io.Writer, a ioa.Automaton, limit int) error {
+	return New(Options{Workers: 1, Limit: limit}).WriteDOT(context.Background(), w, a)
+}
+
+// ReachOpts is Reach with an options struct: sequential when
+// opts.Workers resolves to one worker, sharded-parallel otherwise.
+//
+// Deprecated: use New(opts).Reach(ctx, a).
+func ReachOpts(a ioa.Automaton, opts Options) ([]ioa.State, error) {
+	return New(opts).Reach(context.Background(), a)
+}
+
+// CheckInvariantOpts is CheckInvariant with an options struct.
+//
+// Deprecated: use New(opts).CheckInvariant(ctx, a, pred).
+func CheckInvariantOpts(a ioa.Automaton, opts Options, pred func(ioa.State) bool) (*Violation, error) {
+	return New(opts).CheckInvariant(context.Background(), a, pred)
+}
+
+// ParallelReach computes the reachable states of a with the sharded
+// worker pool regardless of opts.Workers resolving to one.
+//
+// Deprecated: use New(opts).Reach(ctx, a), which dispatches on the
+// worker count.
+func ParallelReach(a ioa.Automaton, opts Options) ([]ioa.State, error) {
+	order, _, err := New(opts).parallelExplore(context.Background(), a, nil)
+	return order, err
+}
+
+// ParallelCheck explores like ParallelReach and checks pred at every
+// admitted state.
+//
+// Deprecated: use New(opts).CheckInvariant(ctx, a, pred).
+func ParallelCheck(a ioa.Automaton, opts Options, pred func(ioa.State) bool) (*Violation, error) {
+	if pred == nil {
+		return nil, errNilPred()
+	}
+	_, v, err := New(opts).parallelExplore(context.Background(), a, pred)
+	return v, err
+}
+
+// DeadlocksOpts is Deadlocks over the options-driven explorer.
+//
+// Deprecated: use New(opts).Deadlocks(ctx, a).
+func DeadlocksOpts(a ioa.Automaton, opts Options) ([]ioa.State, error) {
+	return New(opts).Deadlocks(context.Background(), a)
+}

@@ -1,0 +1,44 @@
+package ioa
+
+// An Encoder is an optional fast path for State implementations: a
+// state that can append a canonical binary encoding of itself to a
+// caller-supplied buffer avoids the string round trip that Key()
+// implies on hot paths (interning, hashing, dedup maps).
+//
+// Contract: the encoding must identify the state exactly as Key()
+// does — two states of the same automaton have equal encodings if and
+// only if their Keys are equal. The simplest correct implementation
+// appends the Key bytes (free when the key is cached at construction
+// time, as TupleState and the faults states do); richer encodings are
+// legal as long as the equivalence holds, and the property battery in
+// internal/store asserts it over composed, hidden, renamed, and
+// fault-wrapped automata.
+type Encoder interface {
+	// AppendBinary appends the state's canonical encoding to dst and
+	// returns the extended slice (the append idiom: dst's backing
+	// array is reused when capacity allows).
+	AppendBinary(dst []byte) []byte
+}
+
+// AppendState appends s's canonical encoding to dst: the Encoder fast
+// path when the state implements it, otherwise the Key() bytes. The
+// fallback and the fast path agree for every Encoder in this
+// repository (all append exactly the Key bytes), so a single store
+// may intern a mix of encoder and non-encoder states.
+func AppendState(dst []byte, s State) []byte {
+	if e, ok := s.(Encoder); ok {
+		return e.AppendBinary(dst)
+	}
+	return append(dst, s.Key()...)
+}
+
+// AppendBinary implements Encoder: the key bytes.
+func (s KeyState) AppendBinary(dst []byte) []byte { return append(dst, s...) }
+
+var _ Encoder = KeyState("")
+
+// AppendBinary implements Encoder: the cached composite key, computed
+// once when the tuple state was built.
+func (t *TupleState) AppendBinary(dst []byte) []byte { return append(dst, t.key...) }
+
+var _ Encoder = (*TupleState)(nil)

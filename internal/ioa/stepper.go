@@ -1,0 +1,130 @@
+package ioa
+
+// A Stepper is an optional successor-visitor fast path for Automaton
+// implementations. VisitNext enumerates exactly the states Next(s, a)
+// would return, in the same order, but hands them to yield one at a
+// time instead of materializing a fresh slice per call — the
+// difference matters in exhaustive exploration, where Next allocation
+// per (state, action) pair dominates the profile on composed systems.
+//
+// Contract: VisitNext(s, a, yield) must invoke yield on the elements
+// of Next(s, a) in order, stopping early (and returning false) as
+// soon as yield returns false; it returns true when the enumeration
+// ran to completion. Implementations must not retain yield.
+type Stepper interface {
+	VisitNext(s State, a Action, yield func(State) bool) bool
+}
+
+// VisitNext enumerates the successors of s via act, using the
+// automaton's Stepper fast path when it has one and falling back to
+// Next otherwise. It is the generic adapter explorers call so that
+// plain Automaton implementations keep working unchanged.
+func VisitNext(a Automaton, s State, act Action, yield func(State) bool) bool {
+	if st, ok := a.(Stepper); ok {
+		return st.VisitNext(s, act, yield)
+	}
+	for _, nxt := range a.Next(s, act) {
+		if !yield(nxt) {
+			return false
+		}
+	}
+	return true
+}
+
+// VisitNext implements Stepper for table automata: the stored
+// successor row is walked in place, skipping the defensive copy Next
+// makes.
+func (t *Table) VisitNext(s State, a Action, yield func(State) bool) bool {
+	row, ok := t.steps[s.Key()]
+	if !ok {
+		if t.sig.IsInput(a) {
+			return yield(s)
+		}
+		return true
+	}
+	for _, nxt := range row[a] {
+		if !yield(nxt) {
+			return false
+		}
+	}
+	return true
+}
+
+var _ Stepper = (*Table)(nil)
+
+// VisitNext implements Stepper for precondition/effect automata. The
+// transition function still materializes its successor list (that is
+// its signature), so the win here is uniformity plus the input
+// self-loop case, which yields the argument without allocating.
+func (p *Prog) VisitNext(s State, a Action, yield func(State) bool) bool {
+	t, ok := p.trans[a]
+	if !ok {
+		return true
+	}
+	next := t.next(s)
+	if len(next) == 0 && t.kind == kindInput {
+		return yield(s)
+	}
+	for _, nxt := range next {
+		if !yield(nxt) {
+			return false
+		}
+	}
+	return true
+}
+
+var _ Stepper = (*Prog)(nil)
+
+// VisitNext implements Stepper for compositions. The single-owner
+// fast path — every non-shared action, and the hot path of exhaustive
+// exploration — yields each successor tuple directly off the memoized
+// per-component successor list, so no intermediate []State is built
+// per (state, action) step. Multi-owner (synchronizing) actions fall
+// back to the cross-product Next.
+func (c *Composite) VisitNext(s State, a Action, yield func(State) bool) bool {
+	ts, ok := s.(*TupleState)
+	if !ok || ts.Len() != len(c.comps) {
+		return true
+	}
+	owners := c.who[a]
+	if len(owners) == 0 {
+		return true
+	}
+	if len(owners) == 1 {
+		i := owners[0]
+		for _, nxt := range c.compNext(i, ts.At(i), a) {
+			if !yield(ts.with1(i, nxt)) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, nxt := range c.Next(s, a) {
+		if !yield(nxt) {
+			return false
+		}
+	}
+	return true
+}
+
+var _ Stepper = (*Composite)(nil)
+
+// VisitNext implements Stepper for hidden automata: hiding changes
+// only the signature, so stepping delegates to the inner automaton.
+func (h *hidden) VisitNext(s State, a Action, yield func(State) bool) bool {
+	return VisitNext(h.inner, s, a, yield)
+}
+
+var _ Stepper = (*hidden)(nil)
+
+// VisitNext implements Stepper for renamed automata: actions outside
+// the renamed signature have no steps; everything else delegates
+// through the inverse mapping.
+func (r *Renamed) VisitNext(s State, a Action, yield func(State) bool) bool {
+	if !r.sig.HasAction(a) {
+		return true
+	}
+	return VisitNext(r.inner, s, r.m.Invert(a), yield)
+}
+
+var _ Stepper = (*Renamed)(nil)

@@ -35,14 +35,15 @@ type Obs struct {
 	// Tracer collects trace_event spans for -trace-out.
 	Tracer *Tracer
 
-	// Explore, Memo, Sim, Faults, Proof are the per-subsystem metric
-	// sets, pre-resolved from Reg so hot paths never take the registry
-	// lock.
+	// Explore, Memo, Sim, Faults, Proof, Store are the per-subsystem
+	// metric sets, pre-resolved from Reg so hot paths never take the
+	// registry lock.
 	Explore *ExploreMetrics
 	Memo    *MemoMetrics
 	Sim     *SimMetrics
 	Faults  *FaultMetrics
 	Proof   *ProofMetrics
+	Store   *StoreMetrics
 
 	clock func() time.Time
 }
@@ -62,6 +63,7 @@ func New(clock func() time.Time) *Obs {
 		Sim:     newSimMetrics(reg),
 		Faults:  newFaultMetrics(reg),
 		Proof:   newProofMetrics(reg),
+		Store:   newStoreMetrics(reg),
 		clock:   clock,
 	}
 }
@@ -201,6 +203,26 @@ func newFaultMetrics(r *Registry) *FaultMetrics {
 		Reorder: r.Counter("faults.reorder"),
 		Crash:   r.Counter("faults.crash"),
 		Restart: r.Counter("faults.restart"),
+	}
+}
+
+// StoreMetrics instruments the interned state store behind the
+// explorers (internal/store): how many distinct states are interned
+// and how many encoded bytes the shard arenas hold. Both are gauges
+// set at level barriers (and at the end of sequential sweeps), so a
+// live /debug/vars scrape shows the current exploration's footprint;
+// bytes-per-state is ArenaBytes/Occupancy.
+type StoreMetrics struct {
+	// Occupancy is the number of interned states.
+	Occupancy *Gauge
+	// ArenaBytes is the total encoded payload across shard arenas.
+	ArenaBytes *Gauge
+}
+
+func newStoreMetrics(r *Registry) *StoreMetrics {
+	return &StoreMetrics{
+		Occupancy:  r.Gauge("store.occupancy"),
+		ArenaBytes: r.Gauge("store.arena_bytes"),
 	}
 }
 

@@ -1,6 +1,7 @@
 package proof
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -44,7 +45,7 @@ func (h *PossMapping) Verify(limit int) error {
 }
 
 // VerifyOpts is Verify with explicit exploration options: the two
-// reachability passes run through explore.ReachOpts, so a Workers
+// reachability passes run through the explore engine, so a Workers
 // setting parallelizes the state-space construction. The mapping
 // conditions themselves are then checked sequentially over the
 // canonically ordered result.
@@ -57,7 +58,7 @@ func (h *PossMapping) VerifyOpts(opts explore.Options) error {
 		return fmt.Errorf("%w: external signatures differ:\n  A: %v\n  B: %v",
 			ErrNotPossibilities, h.A.Sig().External(), h.B.Sig().External())
 	}
-	reachB, err := explore.ReachOpts(h.B, opts)
+	reachB, err := explore.New(opts).Reach(context.Background(), h.B)
 	if err != nil {
 		return err
 	}
@@ -84,7 +85,7 @@ func (h *PossMapping) VerifyOpts(opts explore.Options) error {
 	}
 
 	// Condition 2, over reachable states of A.
-	reachA, err := explore.ReachOpts(h.A, opts)
+	reachA, err := explore.New(opts).Reach(context.Background(), h.A)
 	if err != nil {
 		return err
 	}
@@ -223,7 +224,7 @@ func (h *PossMapping) TransferDown(limit int, s func(ioa.State) bool, t func(ioa
 // (see VerifyOpts).
 func (h *PossMapping) TransferDownOpts(opts explore.Options, s func(ioa.State) bool, t func(ioa.Action) bool,
 	u func(ioa.State) bool, v func(ioa.Action) bool) error {
-	reachA, err := explore.ReachOpts(h.A, opts)
+	reachA, err := explore.New(opts).Reach(context.Background(), h.A)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package proof
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/explore"
@@ -24,11 +25,11 @@ func UnfairSatisfiesBounded(a, b ioa.Automaton, depth int) (bool, []ioa.Action, 
 	if !a.Sig().External().Equal(b.Sig().External()) {
 		return false, nil, fmt.Errorf("proof: external signatures differ")
 	}
-	ma, err := explore.Behaviors(a, depth)
+	ma, err := explore.New(explore.Options{Workers: 1}).Behaviors(context.Background(), a, depth)
 	if err != nil {
 		return false, nil, err
 	}
-	mb, err := explore.Behaviors(b, depth)
+	mb, err := explore.New(explore.Options{Workers: 1}).Behaviors(context.Background(), b, depth)
 	if err != nil {
 		return false, nil, err
 	}
@@ -57,7 +58,7 @@ func FairSatisfiesViaMapping(h *PossMapping, limit int) error {
 
 // FairSatisfiesViaMappingOpts is FairSatisfiesViaMapping with explicit
 // exploration options: both reachability passes run through
-// explore.ReachOpts, so a Workers setting parallelizes them.
+// the explore engine, so a Workers setting parallelizes them.
 func FairSatisfiesViaMappingOpts(h *PossMapping, opts explore.Options) error {
 	partsA, partsB := h.A.Parts(), h.B.Parts()
 	// Partition containment: map each class of B to its containing
@@ -84,7 +85,7 @@ func FairSatisfiesViaMappingOpts(h *PossMapping, opts explore.Options) error {
 		}
 	}
 
-	reachB, err := explore.ReachOpts(h.B, opts)
+	reachB, err := explore.New(opts).Reach(context.Background(), h.B)
 	if err != nil {
 		return err
 	}
@@ -92,7 +93,7 @@ func FairSatisfiesViaMappingOpts(h *PossMapping, opts explore.Options) error {
 	for _, s := range reachB {
 		bReach[s.Key()] = struct{}{}
 	}
-	reachA, err := explore.ReachOpts(h.A, opts)
+	reachA, err := explore.New(opts).Reach(context.Background(), h.A)
 	if err != nil {
 		return err
 	}
@@ -147,7 +148,7 @@ func FairSatisfiesViaMappingOpts(h *PossMapping, opts explore.Options) error {
 // fair lassos (explore.FindLasso with fair=true) this characterizes
 // the fair behavior of finite automata.
 func FairBehaviorsFinite(a ioa.Automaton, depth int) (*ioa.SchedModule, error) {
-	mod, err := explore.Execs(a, depth)
+	mod, err := explore.New(explore.Options{Workers: 1}).Execs(context.Background(), a, depth)
 	if err != nil {
 		return nil, err
 	}

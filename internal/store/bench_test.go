@@ -1,0 +1,53 @@
+package store_test
+
+// Micro-benchmarks for the store hot paths: writer-side interning and
+// frozen-phase probe lookups. Run in CI at -benchtime=1x under -race
+// as a build-and-run sanity check.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/store"
+)
+
+func benchStates(n int) []ioa.State {
+	out := make([]ioa.State, n)
+	for i := range out {
+		out[i] = ioa.KeyState(fmt.Sprintf("state/%04d/with-a-medium-length-key", i))
+	}
+	return out
+}
+
+func BenchmarkStoreIntern(b *testing.B) {
+	states := benchStates(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := store.New(store.Options{})
+		for _, s := range states {
+			st.Intern(s)
+		}
+		if st.Len() != len(states) {
+			b.Fatal("bad count")
+		}
+	}
+}
+
+func BenchmarkStoreProbeLookup(b *testing.B) {
+	states := benchStates(1024)
+	st := store.New(store.Options{})
+	for _, s := range states {
+		st.Intern(s)
+	}
+	p := st.NewProbe()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range states {
+			if _, _, ok := p.Lookup(s); !ok {
+				b.Fatal("miss")
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package store provides a compact interned state store for
+// state-space exploration. Each state is encoded once into its
+// canonical byte representation (the ioa.Encoder fast path, with
+// automatic fallback to Key()), hashed with FNV-64a, and interned into
+// arena-backed shards; interning hands out dense uint64 IDs in
+// insertion order. Explorers keep their seen sets, BFS parent links,
+// and witness reconstruction on IDs instead of map[string] keys, which
+// removes per-state string-map overhead (string headers, per-probe
+// string hashing, GC pressure from millions of map entries) on the
+// reachability hot path.
+//
+// Concurrency contract. A Store is single-writer: Intern and Has must
+// only be called from one goroutine at a time with no concurrent
+// readers. Probes (NewProbe) support the parallel explorer's frozen
+// phase: any number of Probes may run Lookup concurrently as long as
+// no Intern is in flight — exactly the level-synchronized discipline
+// of explore's sharded BFS, where the store is read-only while workers
+// expand a level and written only at the level barrier by the
+// coordinator.
+//
+// Determinism. IDs are assigned in insertion order, so a caller that
+// interns states in a canonical order (BFS discovery order for the
+// sequential explorer; per-level key-sorted order for the parallel
+// one) gets IDs whose numeric order reproduces that canonical order.
+// The explorers rely on this to keep witness-trace canonicalization
+// bit-identical to the string-keyed seed implementation.
+package store
+
+import (
+	"bytes"
+
+	"repro/internal/ioa"
+)
+
+// An ID is a dense state identifier: the i-th state interned into a
+// store has ID i.
+type ID uint64
+
+// None is the sentinel ID used for absent parent links.
+const None ID = ^ID(0)
+
+// DefaultShards is the arena shard count used when Options.Shards is
+// zero. Sharding bounds individual arena growth (each append only
+// recopies its own shard) and keeps bucket chains short.
+const DefaultShards = 16
+
+// Options parameterizes a Store.
+type Options struct {
+	// Shards is the arena/bucket shard count, rounded up to a power of
+	// two; 0 means DefaultShards.
+	Shards int
+}
+
+// loc records where one interned encoding lives: its shard and the
+// byte range inside that shard's arena.
+type loc struct {
+	shard uint32
+	off   uint32
+	n     uint32
+}
+
+// shard is one arena plus its hash buckets.
+type shard struct {
+	// table maps a full FNV-64a hash to the IDs whose encodings share
+	// it (collision chains are resolved by byte comparison).
+	table map[uint64][]ID
+	arena []byte
+}
+
+// A Store interns state encodings and hands out dense IDs.
+type Store struct {
+	shards  []shard
+	mask    uint64
+	locs    []loc
+	scratch []byte
+}
+
+// New builds an empty store.
+func New(opts Options) *Store {
+	n := opts.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	// Round up to a power of two so shard selection is a mask.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	st := &Store{shards: make([]shard, p), mask: uint64(p - 1)}
+	for i := range st.shards {
+		st.shards[i].table = make(map[uint64][]ID)
+	}
+	return st
+}
+
+// Hash is FNV-64a over b — the hash every store site uses, exported so
+// probes and explorers can share computed values.
+func Hash(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// Len returns the number of interned states.
+func (st *Store) Len() int { return len(st.locs) }
+
+// ArenaBytes returns the total encoded bytes held across all shard
+// arenas — the store's payload footprint, reported through the obs
+// layer as store.arena_bytes.
+func (st *Store) ArenaBytes() int64 {
+	var n int64
+	for i := range st.shards {
+		n += int64(len(st.shards[i].arena))
+	}
+	return n
+}
+
+// Stats is a point-in-time summary of a store's occupancy.
+type Stats struct {
+	// States is the number of interned states (dense ID space size).
+	States int
+	// ArenaBytes is the total encoded payload across shards.
+	ArenaBytes int64
+	// Shards is the shard count.
+	Shards int
+}
+
+// Stats summarizes the store.
+func (st *Store) Stats() Stats {
+	return Stats{States: st.Len(), ArenaBytes: st.ArenaBytes(), Shards: len(st.shards)}
+}
+
+// Encoding returns the interned encoding of id as a view into the
+// shard arena. The result must not be modified and is invalidated by
+// the next Intern.
+func (st *Store) Encoding(id ID) []byte {
+	l := st.locs[id]
+	return st.shards[l.shard].arena[l.off : l.off+l.n]
+}
+
+// Intern encodes s, deduplicates it against the store, and returns
+// its ID plus whether it was newly added. Single-writer: callers
+// serialize Intern against all other store calls.
+func (st *Store) Intern(s ioa.State) (ID, bool) {
+	st.scratch = ioa.AppendState(st.scratch[:0], s)
+	return st.InternEncoded(st.scratch, Hash(st.scratch))
+}
+
+// InternEncoded interns an already-encoded state given its Hash. The
+// bytes are copied into the shard arena, so enc may be reused by the
+// caller.
+func (st *Store) InternEncoded(enc []byte, hash uint64) (ID, bool) {
+	sh := &st.shards[hash&st.mask]
+	for _, id := range sh.table[hash] {
+		if st.equal(id, enc) {
+			return id, false
+		}
+	}
+	id := ID(len(st.locs))
+	off := len(sh.arena)
+	sh.arena = append(sh.arena, enc...)
+	st.locs = append(st.locs, loc{shard: uint32(hash & st.mask), off: uint32(off), n: uint32(len(enc))})
+	sh.table[hash] = append(sh.table[hash], id)
+	return id, true
+}
+
+// Has reports whether s is interned, and under which ID. It shares
+// the writer's scratch buffer, so it follows the single-writer rule;
+// concurrent readers use Probes instead.
+func (st *Store) Has(s ioa.State) (ID, bool) {
+	st.scratch = ioa.AppendState(st.scratch[:0], s)
+	return st.lookup(st.scratch, Hash(st.scratch))
+}
+
+// lookup finds an encoding without interning it.
+func (st *Store) lookup(enc []byte, hash uint64) (ID, bool) {
+	sh := &st.shards[hash&st.mask]
+	for _, id := range sh.table[hash] {
+		if st.equal(id, enc) {
+			return id, true
+		}
+	}
+	return None, false
+}
+
+// equal compares id's interned bytes against enc.
+func (st *Store) equal(id ID, enc []byte) bool {
+	l := st.locs[id]
+	if int(l.n) != len(enc) {
+		return false
+	}
+	return bytes.Equal(st.shards[l.shard].arena[l.off:l.off+l.n], enc)
+}
+
+// A Probe is a read-only view with its own encoding buffer, letting
+// concurrent workers test membership allocation-free while the store
+// is frozen (no Intern in flight).
+type Probe struct {
+	st  *Store
+	buf []byte
+}
+
+// NewProbe returns a fresh probe. Each concurrent goroutine needs its
+// own.
+func (st *Store) NewProbe() *Probe { return &Probe{st: st} }
+
+// Lookup reports whether s is interned, returning its ID, the FNV-64a
+// hash of its encoding (for reuse at the merge barrier), and the
+// membership verdict.
+func (p *Probe) Lookup(s ioa.State) (ID, uint64, bool) {
+	p.buf = ioa.AppendState(p.buf[:0], s)
+	h := Hash(p.buf)
+	id, ok := p.st.lookup(p.buf, h)
+	return id, h, ok
+}
+
+// Bytes returns the encoding produced by the most recent Lookup. The
+// slice aliases the probe's buffer and is only valid until the next
+// Lookup on this probe.
+func (p *Probe) Bytes() []byte { return p.buf }
