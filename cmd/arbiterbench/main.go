@@ -27,7 +27,25 @@
 //	             [-explore] [-explore-users n] [-explore-out file]
 //	             [-store-bench] [-store-users n] [-store-bench-out file]
 //	             [-obs-bench] [-obs-users n] [-obs-bench-out file]
+//	             [-stabilize-bench] [-stabilize-sizes n] [-stabilize-out file]
+//	             [-chaos] [-recover-within k]
 //	             [-obs-addr host:port]
+//
+// The -stabilize-bench sweep (E19) certifies self-stabilization:
+// Dijkstra's K-state token ring over ring sizes up to -stabilize-sizes
+// (full corruption envelope at K=n, a single-corruption spot envelope,
+// and the K=n-2 boundary where stabilization provably fails), plus the
+// LeLann ring under crash corruption as the negative control. Rows
+// carry the certifier's closure/convergence verdicts and the measured
+// worst-case rounds-to-legitimacy; -stabilize-out writes them as JSON
+// (BENCH_stabilize.json).
+//
+// The -chaos flag runs only the chaos sweep, with the recovery
+// criterion set by -recover-within (default 60): each cell reports its
+// longest safety outage and service gap, and passes when both are
+// within the window. A fault-free cell failing recovery exits
+// non-zero — the CI smoke gate. -recover-within also applies to the
+// chaos sweep at the end of the default full run.
 package main
 
 import (
@@ -61,6 +79,11 @@ func main() {
 		obsBench     = flag.Bool("obs-bench", false, "run the observability-overhead sweep and exit")
 		obsUsers     = flag.Int("obs-users", 3, "users per arbiter instance in the -obs-bench sweep")
 		obsOut       = flag.String("obs-bench-out", "", "write -obs-bench rows as JSON to this file")
+		stabBench    = flag.Bool("stabilize-bench", false, "run the self-stabilization certification sweep and exit")
+		stabSizes    = flag.Int("stabilize-sizes", 4, "largest Dijkstra ring size in the -stabilize-bench sweep")
+		stabOut      = flag.String("stabilize-out", "", "write -stabilize-bench rows as JSON to this file")
+		chaosOnly    = flag.Bool("chaos", false, "run only the chaos sweep; exit non-zero if a fault-free cell fails recovery")
+		recoverIn    = flag.Int("recover-within", 60, "chaos recovery window k in states/steps (0 disables the criterion)")
 		obsAddr      = flag.String("obs-addr", "", "serve live expvar + pprof debug endpoints on this address (e.g. :6060)")
 	)
 	flag.Parse()
@@ -95,6 +118,38 @@ func main() {
 			if err := f.Close(); err != nil {
 				log.Fatalf("obs out: %v", err)
 			}
+		}
+		return
+	}
+
+	if *stabBench {
+		var sizes []int
+		for n := 3; n <= *stabSizes; n++ {
+			sizes = append(sizes, n)
+		}
+		rows, err := bench.StabilizeSweep(bench.StabilizeConfig{Sizes: sizes, Workers: ex.Workers(), Limit: ex.Limit(), Reps: 3})
+		if err != nil {
+			log.Fatalf("stabilize sweep: %v", err)
+		}
+		bench.PrintStabilize(os.Stdout, rows)
+		if *stabOut != "" {
+			f, err := os.Create(*stabOut)
+			if err != nil {
+				log.Fatalf("stabilize out: %v", err)
+			}
+			if err := bench.WriteStabilizeJSON(f, rows); err != nil {
+				log.Fatalf("stabilize out: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("stabilize out: %v", err)
+			}
+		}
+		return
+	}
+
+	if *chaosOnly {
+		if err := runChaos(ex.Workers(), *quick, *recoverIn, true); err != nil {
+			log.Fatalf("chaos sweep: %v", err)
 		}
 		return
 	}
@@ -201,30 +256,51 @@ func main() {
 	}
 	fmt.Println()
 
-	chaosSteps := 4000
-	chaosSeeds := []int64{1, 2, 5}
-	if *quick {
-		chaosSteps = 2000
-		chaosSeeds = chaosSeeds[:1]
+	if err := runChaos(ex.Workers(), *quick, *recoverIn, false); err != nil {
+		log.Fatalf("chaos sweep: %v", err)
+	}
+
+	fmt.Println("done")
+}
+
+// runChaos runs the chaos sweep over the Figure 3.2 tree with the
+// recovery criterion enabled. With gate set, a fault-free cell that
+// fails to recover within the window is an error — the CI smoke
+// contract: retry-hardened A₃ʳ without injected faults must never
+// exceed the outage or service-gap budget.
+func runChaos(workers int, quick bool, recoverWithin int, gate bool) error {
+	steps := 4000
+	seeds := []int64{1, 2, 5}
+	if quick {
+		steps = 2000
+		seeds = seeds[:1]
 	}
 	tr, err := graph.Figure32()
 	if err != nil {
-		log.Fatalf("figure 3.2: %v", err)
+		return fmt.Errorf("figure 3.2: %v", err)
 	}
-	chaos, err := bench.Chaos(bench.ChaosConfig{
-		Tree:     tr,
-		Holder:   0,
-		Profiles: bench.DefaultChaosProfiles(),
-		Seeds:    chaosSeeds,
-		Steps:    chaosSteps,
-		Workers:  ex.Workers(),
+	rows, err := bench.Chaos(bench.ChaosConfig{
+		Tree:          tr,
+		Holder:        0,
+		Profiles:      bench.DefaultChaosProfiles(),
+		Seeds:         seeds,
+		Steps:         steps,
+		Workers:       workers,
+		RecoverWithin: recoverWithin,
 	})
 	if err != nil {
-		log.Fatalf("chaos sweep: %v", err)
+		return err
 	}
-	bench.PrintChaos(os.Stdout, chaos)
-
-	fmt.Println("done")
+	bench.PrintChaos(os.Stdout, rows)
+	if gate && recoverWithin > 0 {
+		for _, r := range rows {
+			if r.Profile.Zero() && !r.Recovered {
+				return fmt.Errorf("fault-free cell %s seed %d (hardened=%t) failed recovery: outage %d, gap %d, window %d",
+					r.Profile, r.Seed, r.Hardened, r.MaxOutage, r.MaxServiceGap, recoverWithin)
+			}
+		}
+	}
+	return nil
 }
 
 // sweep yields powers of two from 2 up to max.

@@ -5,14 +5,28 @@
 //
 // Usage:
 //
-//	ioasim -system fig21|fig22|fig23c|arbiter1|arbiter2|arbiter3|arbiter3r|ring|mutex
+//	ioasim -system fig21|fig22|fig23c|arbiter1|arbiter2|arbiter3|arbiter3r|ring|mutex|dijkstra
 //	       [-steps n] [-policy rr|random] [-seed n] [-users n]
 //	       [-faults drop=0.1,dup=0.05,delay=3] [-fault-seed n]
-//	       [-trace] [-json] [-dot] [-reach] [-workers n] [-limit n] [-dedup]
+//	       [-trace] [-json] [-dot] [-reach] [-stabilize]
+//	       [-workers n] [-limit n] [-dedup]
 //	       [-obs-addr host:port] [-trace-out file] [-metrics-out file]
 //
 // The -reach flag explores the system's reachable state space instead
-// of simulating it, reporting the state count and deadlocks. The
+// of simulating it, reporting the state count and deadlocks.
+//
+// The -stabilize flag runs the self-stabilization certifier instead of
+// simulating: it checks closure (the legitimate-state set is invariant
+// under all steps) and convergence (every fair execution from every
+// state of a corruption envelope reaches legitimacy, with the worst
+// case measured in rounds) and prints the certificate. It applies to
+// the dijkstra system (Dijkstra's K-state token ring with n machines
+// and modulus K both set by -users, certified from the full K^n
+// corruption envelope — expected to pass)
+// and to the ring system (the LeLann token ring certified from the
+// crash-restart corruption envelope — expected to FAIL, exiting
+// non-zero, since a lost token never regenerates). The exit status is
+// the verdict, so CI can assert both directions. The
 // exploration knobs (-workers, -limit, -dedup) are the shared set
 // registered by explore.BindFlags — identical flags and defaults in
 // arbiterbench — and resolve into the explore.Options behind one
@@ -66,23 +80,25 @@ import (
 	"repro/internal/obs"
 	"repro/internal/ring"
 	"repro/internal/sim"
+	"repro/internal/stabilize"
 )
 
 // config carries every flag; run is pure in (config, out), so tests
 // drive the whole CLI without exec'ing the binary.
 type config struct {
-	system  string
-	steps   int
-	policy  string
-	seed    int64
-	nUsers  int
-	trace   bool
-	jsonOut bool
-	dotOut  bool
-	faults  string
-	faultSd int64
-	reach   bool
-	explore explore.Options
+	system    string
+	steps     int
+	policy    string
+	seed      int64
+	nUsers    int
+	trace     bool
+	jsonOut   bool
+	dotOut    bool
+	faults    string
+	faultSd   int64
+	reach     bool
+	stabilize bool
+	explore   explore.Options
 
 	obsAddr    string
 	traceOut   string
@@ -104,6 +120,7 @@ func main() {
 	flag.StringVar(&cfg.faults, "faults", "none", "channel fault profile, e.g. drop=0.1,dup=0.05,delay=3 (arbiter3/arbiter3r)")
 	flag.Int64Var(&cfg.faultSd, "fault-seed", 1, "seed for the deterministic fault schedule")
 	flag.BoolVar(&cfg.reach, "reach", false, "explore the reachable state space instead of simulating")
+	flag.BoolVar(&cfg.stabilize, "stabilize", false, "certify self-stabilization instead of simulating (dijkstra/ring); exits non-zero when not stabilizing")
 	ex := explore.BindFlags(flag.CommandLine)
 	flag.StringVar(&cfg.obsAddr, "obs-addr", "", "serve live expvar + pprof debug endpoints on this address (e.g. :6060)")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write a Chrome trace_event JSON file to this path")
@@ -141,12 +158,17 @@ func run(cfg config, out io.Writer) error {
 		fmt.Fprintf(out, "obs: serving http://%s/debug/vars and /debug/pprof/\n", addr)
 	}
 
-	auto, err := buildSystem(cfg.system, cfg.nUsers, prof, cfg.faultSd, o)
-	if err == nil {
-		if o != nil {
-			ioa.SetObsDeep(auto, o)
+	if cfg.stabilize {
+		err = certifyRun(cfg, prof, o, out)
+	} else {
+		var auto ioa.Automaton
+		auto, err = buildSystem(cfg.system, cfg.nUsers, prof, cfg.faultSd, o)
+		if err == nil {
+			if o != nil {
+				ioa.SetObsDeep(auto, o)
+			}
+			err = dispatch(cfg, auto, o, out)
 		}
-		err = dispatch(cfg, auto, o, out)
 	}
 
 	if cfg.traceOut != "" {
@@ -159,6 +181,67 @@ func run(cfg config, out io.Writer) error {
 		err = errors.Join(err, stopServe())
 	}
 	return err
+}
+
+// certifyRun certifies self-stabilization of the selected system and
+// prints the certificate. The dijkstra system is certified from its
+// full K^n corruption envelope; the ring system (LeLann) from the
+// crash-restart envelope — the reachable states of the ring with every
+// process wrapped in faults.CrashRestart, projected back into the
+// clean composition. A non-stabilizing verdict is an error, so the
+// process exits non-zero.
+func certifyRun(cfg config, prof faults.Profile, o *obs.Obs, out io.Writer) error {
+	if !prof.Zero() {
+		return errors.New("-stabilize certifies state corruption envelopes; channel -faults do not apply")
+	}
+	opts := stabilize.Options{Workers: cfg.explore.Workers, Limit: cfg.explore.Limit, Obs: o}
+	var (
+		auto  ioa.Automaton
+		legit func(ioa.State) bool
+		env   stabilize.Envelope
+	)
+	switch cfg.system {
+	case "dijkstra":
+		r, err := ring.NewDijkstra(cfg.nUsers, cfg.nUsers)
+		if err != nil {
+			return err
+		}
+		auto, legit = r.Auto, r.Legit
+		env = stabilize.Explicit("all-corruptions", r.AllStates())
+	case "ring":
+		sys, err := ring.New(spec.DefaultUsers(cfg.nUsers))
+		if err != nil {
+			return err
+		}
+		comps := make([]ioa.Automaton, len(sys.Procs))
+		for i, p := range sys.Procs {
+			comps[i], err = faults.CrashRestart(p, "p"+fmt.Sprint(i), faults.Reset)
+			if err != nil {
+				return err
+			}
+		}
+		crashed, err := ioa.Compose("ring-crash", comps...)
+		if err != nil {
+			return err
+		}
+		auto = sys.Composite
+		legit = func(s ioa.State) bool { return sys.TokenCount(s) == 1 }
+		env = stabilize.Reachable("crash(reset)", crashed, stabilize.TupleMap(stabilize.CrashInner), opts)
+	default:
+		return fmt.Errorf("-stabilize applies to dijkstra and ring, not %q", cfg.system)
+	}
+	if o != nil {
+		ioa.SetObsDeep(auto, o)
+	}
+	cert, err := stabilize.Certify(context.Background(), auto, legit, env, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, cert)
+	if !cert.Stabilizing() {
+		return fmt.Errorf("%s is not self-stabilizing under envelope %q", cert.Automaton, cert.Envelope)
+	}
+	return nil
 }
 
 // dispatch runs the selected mode: DOT export, reachability, or
@@ -291,6 +374,12 @@ func buildSystem(name string, nUsers int, prof faults.Profile, faultSeed int64, 
 		}
 		comps := append([]ioa.Automaton{sys.Arbiter}, users.Automata(users.HeavyLoad(names))...)
 		return ioa.Compose("ring-closed", comps...)
+	case "dijkstra":
+		r, err := ring.NewDijkstra(nUsers, nUsers)
+		if err != nil {
+			return nil, err
+		}
+		return r.Auto, nil
 	case "mutex":
 		sys, err := mutex.New()
 		if err != nil {
@@ -384,7 +473,7 @@ func buildSystem(name string, nUsers int, prof faults.Profile, faultSeed int64, 
 		comps := append([]ioa.Automaton{arb}, users.Automata(users.HeavyLoad(names))...)
 		return ioa.Compose(name, comps...)
 	default:
-		return nil, fmt.Errorf("unknown system %q (try fig21, fig22, fig23c, arbiter1, arbiter2, arbiter3, arbiter3r, ring, mutex)", name)
+		return nil, fmt.Errorf("unknown system %q (try fig21, fig22, fig23c, arbiter1, arbiter2, arbiter3, arbiter3r, ring, mutex, dijkstra)", name)
 	}
 }
 

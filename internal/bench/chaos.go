@@ -50,6 +50,21 @@ type ChaosRow struct {
 	// obligation stayed open (the untimed §3.4 latency analogue);
 	// -1 when the run does not lift to the specification.
 	MaxPending int
+	// MaxOutage is the longest consecutive run of reached states in
+	// which some per-state safety property (token uniqueness or a
+	// Lemma 35/36/41 invariant) was violated — how long the system
+	// stayed visibly corrupt before the faults washed out.
+	MaxOutage int
+	// MaxServiceGap is the longest span of steps during which some
+	// user's request was pending and no grant fired at all (to
+	// anyone) — how long service stopped, including the run's tail.
+	MaxServiceGap int
+	// RecoverWithin echoes the acceptance window k from the config;
+	// Recovered is the cell's recovery verdict, MaxOutage <= k and
+	// MaxServiceGap <= k. Both are meaningful only when the config set
+	// RecoverWithin > 0.
+	RecoverWithin int
+	Recovered     bool
 }
 
 // ChaosConfig parameterizes a chaos sweep.
@@ -75,11 +90,17 @@ type ChaosConfig struct {
 	// that many goroutines. 0 means GOMAXPROCS; the results are
 	// independent of the worker count.
 	Workers int
+	// RecoverWithin, when positive, turns each cell into a
+	// recovers-within-k acceptance check: the cell passes
+	// (Recovered=true) iff no safety outage and no service gap lasts
+	// more than RecoverWithin steps. 0 disables the verdict.
+	RecoverWithin int
 }
 
 // DefaultChaosProfiles is the standard sweep: fault-free baseline,
-// loss alone, duplication alone, and the combined lossy+duplicating
-// channel of the acceptance scenario.
+// loss alone, duplication alone, the combined lossy+duplicating
+// channel of the acceptance scenario, and crash-restart-heavy burst
+// loss (crash windows on the message channels).
 func DefaultChaosProfiles() []faults.Profile {
 	return []faults.Profile{
 		{},
@@ -87,6 +108,7 @@ func DefaultChaosProfiles() []faults.Profile {
 		{Drop: 0.3},
 		{Duplicate: 0.15},
 		{Drop: 0.3, Duplicate: 0.15},
+		{Crash: 0.1},
 	}
 }
 
@@ -268,12 +290,22 @@ func chaosCell(cfg ChaosConfig, prof faults.Profile, seed int64, hardened bool) 
 	// process states, Lemmas 35/36/41 in the h₂-image. The per-state
 	// checks are pure functions of the state, so they shard across
 	// workers; verdicts are conjunctions and hence order-independent.
-	safety, err := chaosSafetyScan(cfg.Workers, t, sys, x3.States)
+	safety, okAt, err := chaosSafetyScan(cfg.Workers, t, sys, x3.States)
 	if err != nil {
 		return row, err
 	}
 	row.MutualExclusion = safety.mutex
 	row.Lemma35, row.Lemma36, row.Lemma41 = safety.l35, safety.l36, safety.l41
+
+	// Recovery: the longest consecutive stretch of unsafe states, and
+	// the longest stretch of steps with a request pending and no grant
+	// fired. With RecoverWithin set, both must fit the window.
+	row.MaxOutage = longestFalseRun(okAt)
+	row.MaxServiceGap = chaosServiceGap(names, x.Acts)
+	row.RecoverWithin = cfg.RecoverWithin
+	if cfg.RecoverWithin > 0 {
+		row.Recovered = row.MaxOutage <= cfg.RecoverWithin && row.MaxServiceGap <= cfg.RecoverWithin
+	}
 
 	// Refinement of A₂ along the execution, then of A₁, then the
 	// spec-level latency of request obligations.
@@ -336,8 +368,11 @@ type chaosSafety struct {
 }
 
 // chaosSafetyScan evaluates token uniqueness and the Lemma 35/36/41
-// graph invariants over every state, sharded across workers.
-func chaosSafetyScan(workers int, t *graph.Tree, sys *chaosSys, states []ioa.State) (chaosSafety, error) {
+// graph invariants over every state, sharded across workers. Besides
+// the aggregate verdicts it returns the per-state conjunction okAt
+// (workers write disjoint indices), from which the recovery analysis
+// measures outage lengths.
+func chaosSafetyScan(workers int, t *graph.Tree, sys *chaosSys, states []ioa.State) (chaosSafety, []bool, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -347,6 +382,7 @@ func chaosSafetyScan(workers int, t *graph.Tree, sys *chaosSys, states []ioa.Sta
 	if workers < 1 {
 		workers = 1
 	}
+	okAt := make([]bool, len(states))
 	results := make([]chaosSafety, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -358,6 +394,7 @@ func chaosSafetyScan(workers int, t *graph.Tree, sys *chaosSys, states []ioa.Sta
 			res := chaosSafety{mutex: true, l35: true, l36: true, l41: true}
 			for i := w; i < len(states); i += workers {
 				st := states[i]
+				stateOK := true
 				holders := 0
 				for _, a := range sys.order {
 					ps, err := sys.procOf(st, a)
@@ -375,6 +412,7 @@ func chaosSafetyScan(workers int, t *graph.Tree, sys *chaosSys, states []ioa.Sta
 				}
 				if holders > 1 {
 					res.mutex = false
+					stateOK = false
 				}
 				img, err := sys.applyH2(st)
 				if err != nil {
@@ -383,13 +421,17 @@ func chaosSafetyScan(workers int, t *graph.Tree, sys *chaosSys, states []ioa.Sta
 				}
 				if !graphlevel.SingleRoot(img) {
 					res.l35 = false
+					stateOK = false
 				}
 				if !graphlevel.RequestsPointToRoot(img) {
 					res.l36 = false
+					stateOK = false
 				}
 				if !graphlevel.BufferInvariant(img) {
 					res.l41 = false
+					stateOK = false
 				}
+				okAt[i] = stateOK
 			}
 			results[w] = res
 		}()
@@ -398,14 +440,66 @@ func chaosSafetyScan(workers int, t *graph.Tree, sys *chaosSys, states []ioa.Sta
 	out := chaosSafety{mutex: true, l35: true, l36: true, l41: true}
 	for w := 0; w < workers; w++ {
 		if errs[w] != nil {
-			return out, errs[w]
+			return out, nil, errs[w]
 		}
 		out.mutex = out.mutex && results[w].mutex
 		out.l35 = out.l35 && results[w].l35
 		out.l36 = out.l36 && results[w].l36
 		out.l41 = out.l41 && results[w].l41
 	}
-	return out, nil
+	return out, okAt, nil
+}
+
+// longestFalseRun measures the longest consecutive stretch of false
+// entries.
+func longestFalseRun(ok []bool) int {
+	cur, max := 0, 0
+	for _, b := range ok {
+		if b {
+			cur = 0
+			continue
+		}
+		cur++
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// chaosServiceGap measures the longest span of steps during which
+// some user's request was pending and no grant action fired at all. A
+// grant to anyone ends the gap (the arbiter is serving); a tail of
+// unserved pending requests counts in full.
+func chaosServiceGap(names []string, acts []ioa.Action) int {
+	pending := make([]bool, len(names))
+	cur, max := 0, 0
+	for _, act := range acts {
+		any := false
+		for _, p := range pending {
+			if p {
+				any = true
+				break
+			}
+		}
+		if any && act.Base() != "grant" {
+			cur++
+			if cur > max {
+				max = cur
+			}
+		} else {
+			cur = 0
+		}
+		for u, name := range names {
+			switch act {
+			case ioa.Act("request", name):
+				pending[u] = true
+			case ioa.Act("grant", name):
+				pending[u] = false
+			}
+		}
+	}
+	return max
 }
 
 // chaosGrantResponds is the spec-level no-lockout condition for user
@@ -426,9 +520,9 @@ func chaosGrantResponds(names []string, u int) *proof.LeadsTo {
 func PrintChaos(w io.Writer, rows []ChaosRow) {
 	title := "Chaos sweep — fault rates vs surviving correctness properties"
 	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
-	fmt.Fprintf(w, "%-22s %5s %-4s %6s %-12s %7s %4s %4s %4s %4s %4s %4s %8s\n",
+	fmt.Fprintf(w, "%-22s %5s %-4s %6s %-12s %7s %4s %4s %4s %4s %4s %4s %8s %7s %5s %6s\n",
 		"faults", "seed", "sys", "steps", "grants", "starved", "ME",
-		"L35", "L36", "L41", "h2", "h1", "maxpend")
+		"L35", "L36", "L41", "h2", "h1", "maxpend", "outage", "gap", "recov")
 	mark := func(b bool) string {
 		if b {
 			return "ok"
@@ -445,10 +539,15 @@ func PrintChaos(w io.Writer, rows []ChaosRow) {
 		if r.MaxPending >= 0 {
 			pend = fmt.Sprint(r.MaxPending)
 		}
-		fmt.Fprintf(w, "%-22s %5d %-4s %6d %-12s %7t %4s %4s %4s %4s %4s %4s %8s\n",
+		recov := "-"
+		if r.RecoverWithin > 0 {
+			recov = mark(r.Recovered)
+		}
+		fmt.Fprintf(w, "%-22s %5d %-4s %6d %-12s %7t %4s %4s %4s %4s %4s %4s %8s %7d %5d %6s\n",
 			r.Profile, r.Seed, sysName, r.Steps, grants, r.Starved,
 			mark(r.MutualExclusion), mark(r.Lemma35), mark(r.Lemma36),
-			mark(r.Lemma41), mark(r.RefinesA2), mark(r.RefinesA1), pend)
+			mark(r.Lemma41), mark(r.RefinesA2), mark(r.RefinesA1), pend,
+			r.MaxOutage, r.MaxServiceGap, recov)
 	}
 	fmt.Fprintln(w)
 }

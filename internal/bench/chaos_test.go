@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/graph"
+	"repro/internal/ioa"
 )
 
 // TestChaosSweep runs a small sweep over the Figure 3.2 tree and
@@ -154,5 +155,113 @@ func TestChaosPerFaultClass(t *testing.T) {
 	}
 	if !hard.Starved {
 		t.Errorf("delay: expected the wedged A3r to leave requests unanswered: %+v", hard)
+	}
+}
+
+// TestDefaultChaosProfilesGolden pins the default sweep list: profile
+// order and rendering are part of the bench artifact format
+// (BENCH_*.json readers and CI log diffs key on them).
+func TestDefaultChaosProfilesGolden(t *testing.T) {
+	want := []string{
+		"none",
+		"drop=0.1",
+		"drop=0.3",
+		"dup=0.15",
+		"drop=0.3,dup=0.15",
+		"crash=0.1",
+	}
+	got := DefaultChaosProfiles()
+	if len(got) != len(want) {
+		t.Fatalf("%d default profiles, want %d", len(got), len(want))
+	}
+	for i, p := range got {
+		if p.String() != want[i] {
+			t.Errorf("profile %d renders %q, want %q", i, p, want[i])
+		}
+	}
+}
+
+// TestChaosRecoveryCriterion runs a small sweep with the
+// recovers-within-k acceptance window: fault-free cells recover by
+// definition (no outage, bounded gaps), and the verdict fields are
+// consistent with the measurements.
+func TestChaosRecoveryCriterion(t *testing.T) {
+	tr, err := graph.Figure32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 60
+	rows, err := Chaos(ChaosConfig{
+		Tree:          tr,
+		Holder:        0,
+		Profiles:      []faults.Profile{{}, {Crash: 0.1}},
+		Seeds:         []int64{1},
+		Steps:         2000,
+		RecoverWithin: k,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.RecoverWithin != k {
+			t.Fatalf("window not echoed: %d", r.RecoverWithin)
+		}
+		want := r.MaxOutage <= k && r.MaxServiceGap <= k
+		if r.Recovered != want {
+			t.Fatalf("%s seed %d: recovered=%t but outage=%d gap=%d window=%d",
+				r.Profile, r.Seed, r.Recovered, r.MaxOutage, r.MaxServiceGap, k)
+		}
+		if r.Profile.Zero() {
+			if r.MaxOutage != 0 {
+				t.Fatalf("fault-free cell has outage %d", r.MaxOutage)
+			}
+			if !r.Recovered {
+				t.Fatalf("fault-free cell failed recovery: gap=%d", r.MaxServiceGap)
+			}
+		}
+	}
+}
+
+func TestLongestFalseRun(t *testing.T) {
+	cases := []struct {
+		in   []bool
+		want int
+	}{
+		{nil, 0},
+		{[]bool{true, true}, 0},
+		{[]bool{false}, 1},
+		{[]bool{true, false, false, true, false}, 2},
+		{[]bool{false, false, true, false, false, false}, 3},
+	}
+	for _, c := range cases {
+		if got := longestFalseRun(c.in); got != c.want {
+			t.Errorf("longestFalseRun(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestChaosServiceGap(t *testing.T) {
+	names := []string{"u", "v"}
+	req := func(n string) ioa.Action { return ioa.Act("request", n) }
+	grant := func(n string) ioa.Action { return ioa.Act("grant", n) }
+	other := ioa.Act("token", "0", "1")
+	cases := []struct {
+		acts []ioa.Action
+		want int
+	}{
+		{nil, 0},
+		// No pending request: internal churn is not a gap.
+		{[]ioa.Action{other, other, other}, 0},
+		// Request served after two steps of churn.
+		{[]ioa.Action{req("u"), other, other, grant("u")}, 2},
+		// A grant to anyone resets the gap even while u stays pending.
+		{[]ioa.Action{req("u"), other, req("v"), grant("v"), other, other, grant("u")}, 2},
+		// Unserved tail counts in full.
+		{[]ioa.Action{req("u"), other, other, other}, 3},
+	}
+	for i, c := range cases {
+		if got := chaosServiceGap(names, c.acts); got != c.want {
+			t.Errorf("case %d: gap = %d, want %d", i, got, c.want)
+		}
 	}
 }

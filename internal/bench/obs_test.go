@@ -4,19 +4,20 @@ import (
 	"bytes"
 	"encoding/json"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
 
 // obsFakeClock advances a fixed step per reading so sweep timings are
-// deterministic in tests.
+// deterministic in tests. The clock ends up inside the tracer, which
+// parallel explore workers read concurrently, so the counter is
+// atomic.
 func obsFakeClock() func() time.Time {
 	t0 := time.Unix(2000, 0)
-	n := 0
+	var n atomic.Int64
 	return func() time.Time {
-		t := t0.Add(time.Duration(n) * time.Millisecond)
-		n++
-		return t
+		return t0.Add(time.Duration(n.Add(1)-1) * time.Millisecond)
 	}
 }
 

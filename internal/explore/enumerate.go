@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/ioa"
+	"repro/internal/ltl"
 	"repro/internal/store"
 )
 
@@ -208,137 +209,35 @@ type Lasso struct {
 
 // FindLasso searches (within the reachable states, up to
 // Options.Limit) for a cycle all of whose actions satisfy `allowed`
-// and that contains at least one action. If fair is true, the cycle
-// must additionally be fair-sustainable: every class of part(A) must
-// either perform an action on the cycle or be disabled at some state
-// of the cycle — exactly the condition under which pumping the cycle
-// forever yields a fair infinite execution (§2.2.1 condition 2).
-// Returns nil if no such lasso exists.
+// (nil allows every action) and that contains at least one action. If
+// fair is true, the cycle must additionally be fair-sustainable: every
+// class of part(A) must either perform an action on the cycle or be
+// disabled at some state of the cycle — exactly the condition under
+// which pumping the cycle forever yields a fair infinite execution
+// (§2.2.1 condition 2). Returns nil if no such lasso exists.
+//
+// The graph construction and cycle search live in internal/ltl
+// (BuildGraph / FindCycle), shared with the self-stabilization
+// certifier; this method adds reachability and the minimal stem.
 func (e *Engine) FindLasso(ctx context.Context, a ioa.Automaton, allowed func(ioa.Action) bool, fair bool) (*Lasso, error) {
 	ctx = ctxOr(ctx)
 	states, err := e.Reach(ctx, a)
 	if err != nil {
 		return nil, err
 	}
-	// Index the reachable set: position in states == interned ID, both
-	// dense insertion order.
-	index := store.New(store.Options{})
-	for _, s := range states {
-		index.Intern(s)
+	g, err := ltl.BuildGraph(ctx, a, states, allowed)
+	if err != nil {
+		return nil, err
 	}
-	acts := a.Sig().Acts().Sorted()
-	// Adjacency restricted to allowed actions.
-	adj := make([][]edge, len(states))
-	for i, s := range states {
-		if i&63 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		for _, act := range acts {
-			if !allowed(act) {
-				continue
-			}
-			ioa.VisitNext(a, s, act, func(nxt ioa.State) bool {
-				if j, ok := index.Has(nxt); ok {
-					adj[i] = append(adj[i], edge{act: act, to: int(j)})
-				}
-				return true
-			})
-		}
+	start, cycle, nodes, err := g.FindCycle(ctx, a, ltl.CycleOptions{Fair: fair})
+	if err != nil || cycle == nil {
+		return nil, err
 	}
-	// For each state, DFS for a cycle back to it through allowed edges.
-	for start := range states {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		cycle, cycleStates := findCycleFrom(a, states, adj, start, fair)
-		if cycle == nil {
-			continue
-		}
-		stem, err := e.witnessTo(ctx, a, states[start])
-		if err != nil {
-			return nil, err
-		}
-		return &Lasso{Stem: stem, Cycle: cycle, CycleStates: cycleStates}, nil
+	stem, err := e.witnessTo(ctx, a, states[start])
+	if err != nil {
+		return nil, err
 	}
-	return nil, nil
-}
-
-// edge is one transition in the reachability graph restricted to a set
-// of allowed actions.
-type edge struct {
-	act ioa.Action
-	to  int
-}
-
-// findCycleFrom searches for a nonempty path start -> ... -> start.
-// When fair is true it only accepts cycles on which every class either
-// acts or is disabled somewhere.
-func findCycleFrom(a ioa.Automaton, states []ioa.State, adj [][]edge, start int, fair bool) ([]ioa.Action, []ioa.State) {
-	// Bounded DFS over simple paths (cycle length ≤ number of states).
-	var best []ioa.Action
-	var bestStates []ioa.State
-	var dfs func(node int, acts []ioa.Action, onPath map[int]bool, path []int) bool
-	dfs = func(node int, acts []ioa.Action, onPath map[int]bool, path []int) bool {
-		for _, e := range adj[node] {
-			if e.to == start {
-				candidate := append(append([]ioa.Action(nil), acts...), e.act)
-				var cs []ioa.State
-				for _, p := range append(append([]int(nil), path...), node) {
-					cs = append(cs, states[p])
-				}
-				cs = append(cs, states[start])
-				if !fair || fairSustainable(a, candidate, cs) {
-					best = candidate
-					bestStates = cs
-					return true
-				}
-			}
-			if !onPath[e.to] && e.to != start {
-				onPath[e.to] = true
-				if dfs(e.to, append(acts, e.act), onPath, append(path, node)) {
-					return true
-				}
-				delete(onPath, e.to)
-			}
-		}
-		return false
-	}
-	onPath := map[int]bool{start: true}
-	if dfs(start, nil, onPath, nil) {
-		return best, bestStates
-	}
-	return nil, nil
-}
-
-// fairSustainable reports whether pumping the given cycle forever
-// yields a fair execution: every class either performs an action on
-// the cycle or is disabled at some cycle state.
-func fairSustainable(a ioa.Automaton, cycle []ioa.Action, cycleStates []ioa.State) bool {
-	for _, c := range a.Parts() {
-		acted := false
-		for _, act := range cycle {
-			if c.Actions.Has(act) {
-				acted = true
-				break
-			}
-		}
-		if acted {
-			continue
-		}
-		disabled := false
-		for _, s := range cycleStates {
-			if !ioa.ClassEnabled(a, s, c) {
-				disabled = true
-				break
-			}
-		}
-		if !disabled {
-			return false
-		}
-	}
-	return true
+	return &Lasso{Stem: stem, Cycle: cycle, CycleStates: g.PathStates(nodes)}, nil
 }
 
 // witnessTo builds an execution from a start state to target using the

@@ -84,10 +84,25 @@ type Profile struct {
 	// Each message receives a deterministic overtake budget in
 	// [0, Delay]; 0 disables delay faults (per-channel FIFO).
 	Delay int
+	// Crash is the probability that a send opens a crash window on its
+	// channel: the receiving endpoint goes down and the next CrashLen
+	// sends on that channel (this one included) are lost. Crash windows
+	// model a crash-restart of the receiver between two sends — a burst
+	// loss, where Drop models independent per-message loss.
+	Crash float64
+	// CrashLen is the crash-window length in sends; 0 means
+	// DefaultCrashLen. Ignored when Crash is 0.
+	CrashLen int
 }
 
+// DefaultCrashLen is the crash-window length used when
+// Profile.CrashLen is 0.
+const DefaultCrashLen = 4
+
 // Zero reports whether the profile injects no faults.
-func (p Profile) Zero() bool { return p.Drop == 0 && p.Duplicate == 0 && p.Delay == 0 }
+func (p Profile) Zero() bool {
+	return p.Drop == 0 && p.Duplicate == 0 && p.Delay == 0 && p.Crash == 0
+}
 
 // String renders the profile in the "drop=0.1,dup=0.05,delay=3" form
 // accepted by ParseProfile. The zero profile renders as "none".
@@ -101,6 +116,12 @@ func (p Profile) String() string {
 	}
 	if p.Delay != 0 {
 		parts = append(parts, "delay="+strconv.Itoa(p.Delay))
+	}
+	if p.Crash != 0 {
+		parts = append(parts, "crash="+strconv.FormatFloat(p.Crash, 'g', -1, 64))
+	}
+	if p.CrashLen != 0 {
+		parts = append(parts, "crashlen="+strconv.Itoa(p.CrashLen))
 	}
 	if len(parts) == 0 {
 		return "none"
@@ -119,12 +140,20 @@ func (p Profile) validate() error {
 	if p.Delay < 0 {
 		return fmt.Errorf("faults: negative delay bound %d", p.Delay)
 	}
+	if p.Crash < 0 || p.Crash > 1 {
+		return fmt.Errorf("faults: crash rate %v outside [0,1]", p.Crash)
+	}
+	if p.CrashLen < 0 {
+		return fmt.Errorf("faults: negative crash-window length %d", p.CrashLen)
+	}
 	return nil
 }
 
 // ParseProfile parses a comma-separated fault spec such as
-// "drop=0.1,dup=0.05,delay=3". Keys: drop (rate), dup (rate), delay
-// (overtake bound). "none" and "" parse to the zero profile.
+// "drop=0.1,dup=0.05,delay=3,crash=0.05,crashlen=4". Keys: drop
+// (rate), dup (rate), delay (overtake bound), crash (window-open
+// rate), crashlen (window length in sends). "none" and "" parse to the
+// zero profile.
 func ParseProfile(s string) (Profile, error) {
 	var p Profile
 	s = strings.TrimSpace(s)
@@ -137,26 +166,32 @@ func ParseProfile(s string) (Profile, error) {
 			return p, fmt.Errorf("faults: bad fault spec %q (want key=value)", field)
 		}
 		switch key {
-		case "drop", "dup", "delay":
-		default:
-			return p, fmt.Errorf("faults: unknown fault class %q (want drop, dup, or delay)", key)
-		}
-		if key == "delay" {
+		case "delay", "crashlen":
 			n, err := strconv.Atoi(val)
 			if err != nil {
-				return p, fmt.Errorf("faults: bad delay bound %q: %v", val, err)
+				return p, fmt.Errorf("faults: bad %s bound %q: %v", key, val, err)
 			}
-			p.Delay = n
+			if key == "delay" {
+				p.Delay = n
+			} else {
+				p.CrashLen = n
+			}
 			continue
+		case "drop", "dup", "crash":
+		default:
+			return p, fmt.Errorf("faults: unknown fault class %q (want drop, dup, delay, crash, or crashlen)", key)
 		}
 		rate, err := strconv.ParseFloat(val, 64)
 		if err != nil {
 			return p, fmt.Errorf("faults: bad %s rate %q: %v", key, val, err)
 		}
-		if key == "drop" {
+		switch key {
+		case "drop":
 			p.Drop = rate
-		} else {
+		case "dup":
 			p.Duplicate = rate
+		default:
+			p.Crash = rate
 		}
 	}
 	return p, p.validate()
@@ -245,6 +280,29 @@ func (sc *Schedule) DuplicatesMessage(channel string, seq uint64) bool {
 		return false
 	}
 	return sc.coin("dup", channel, seq, sc.Profile.Duplicate)
+}
+
+// CrashesMessage reports whether message seq on channel falls inside a
+// crash window: some send in the last CrashLen sends (seq included)
+// opened a window, so the receiver is down and the message is lost.
+// opens additionally reports that seq itself opened the window —
+// callers count one crash per window, not per lost message. Like every
+// Schedule decision this is a pure function of (seed, channel, seq),
+// so a window is a burst of CrashLen consecutive lost sends.
+func (sc *Schedule) CrashesMessage(channel string, seq uint64) (lost, opens bool) {
+	if sc == nil || sc.Profile.Crash == 0 {
+		return false, false
+	}
+	n := sc.Profile.CrashLen
+	if n == 0 {
+		n = DefaultCrashLen
+	}
+	for i := 0; i < n && uint64(i) <= seq; i++ {
+		if sc.coin("crash", channel, seq-uint64(i), sc.Profile.Crash) {
+			return true, i == 0
+		}
+	}
+	return false, false
 }
 
 // SlackOf returns the overtake budget of message seq on channel: how

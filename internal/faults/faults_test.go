@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/ioa"
+	"repro/internal/obs"
 )
 
 func TestParseProfile(t *testing.T) {
@@ -17,6 +18,8 @@ func TestParseProfile(t *testing.T) {
 		{"drop=0.1", Profile{Drop: 0.1}},
 		{"drop=0.1,dup=0.05,delay=3", Profile{Drop: 0.1, Duplicate: 0.05, Delay: 3}},
 		{" dup=1 ", Profile{Duplicate: 1}},
+		{"crash=0.2", Profile{Crash: 0.2}},
+		{"crash=0.2,crashlen=3", Profile{Crash: 0.2, CrashLen: 3}},
 	}
 	for _, c := range cases {
 		got, err := ParseProfile(c.in)
@@ -27,13 +30,13 @@ func TestParseProfile(t *testing.T) {
 			t.Errorf("ParseProfile(%q) = %+v, want %+v", c.in, got, c.want)
 		}
 	}
-	for _, bad := range []string{"drop", "loss=0.5", "drop=x", "delay=-1", "drop=1.5"} {
+	for _, bad := range []string{"drop", "loss=0.5", "drop=x", "delay=-1", "drop=1.5", "crash=1.5", "crashlen=-2", "crashlen=x"} {
 		if _, err := ParseProfile(bad); err == nil {
 			t.Errorf("ParseProfile(%q): want error", bad)
 		}
 	}
 	// String round-trips through ParseProfile.
-	p := Profile{Drop: 0.25, Duplicate: 0.5, Delay: 2}
+	p := Profile{Drop: 0.25, Duplicate: 0.5, Delay: 2, Crash: 0.125, CrashLen: 3}
 	back, err := ParseProfile(p.String())
 	if err != nil || back != p {
 		t.Errorf("round trip %q -> %+v (%v)", p.String(), back, err)
@@ -323,5 +326,126 @@ func TestClampStuck(t *testing.T) {
 	s = step(t, stuck, s, ioa.Act("emit"))
 	if s.Key() != "7" {
 		t.Fatalf("emit escaped the clamp: %s", s.Key())
+	}
+}
+
+// TestCrashWindowSchedule checks the burst-loss semantics of
+// CrashesMessage: a message is lost iff one of the last CrashLen sends
+// (itself included) opened a window, opens marks exactly the window
+// openers, and everything is a deterministic function of the seed.
+func TestCrashWindowSchedule(t *testing.T) {
+	const n = 3
+	sched, err := NewSchedule(42, Profile{Crash: 0.2, CrashLen: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const span = 500
+	opens := make([]bool, span)
+	lost := make([]bool, span)
+	anyLost, anyKept := false, false
+	for seq := 0; seq < span; seq++ {
+		l, o := sched.CrashesMessage("x>y", uint64(seq))
+		lost[seq], opens[seq] = l, o
+		if o && !l {
+			t.Fatalf("seq %d opens a window but is not lost", seq)
+		}
+		anyLost = anyLost || l
+		anyKept = anyKept || !l
+	}
+	if !anyLost || !anyKept {
+		t.Fatalf("degenerate schedule: lost=%v kept=%v", anyLost, anyKept)
+	}
+	for seq := 0; seq < span; seq++ {
+		want := false
+		for i := 0; i < n && i <= seq; i++ {
+			if opens[seq-i] {
+				want = true
+				break
+			}
+		}
+		if lost[seq] != want {
+			t.Fatalf("seq %d: lost=%v, window membership says %v", seq, lost[seq], want)
+		}
+	}
+	// Same seed agrees; the nil schedule and the zero rate are
+	// fault-free; rate 1 loses everything and opens every window.
+	again, _ := NewSchedule(42, Profile{Crash: 0.2, CrashLen: n})
+	for seq := uint64(0); seq < span; seq++ {
+		l, o := again.CrashesMessage("x>y", seq)
+		if l != lost[seq] || o != opens[seq] {
+			t.Fatalf("same seed disagrees at seq %d", seq)
+		}
+	}
+	var nilSched *Schedule
+	if l, _ := nilSched.CrashesMessage("x>y", 0); l {
+		t.Fatal("nil schedule crashed")
+	}
+	always, _ := NewSchedule(7, Profile{Crash: 1})
+	for seq := uint64(0); seq < 20; seq++ {
+		if l, o := always.CrashesMessage("x>y", seq); !l || !o {
+			t.Fatalf("crash=1 at seq %d: lost=%v opens=%v", seq, l, o)
+		}
+	}
+}
+
+// TestCrashWindowDefaultLen checks that CrashLen 0 means
+// DefaultCrashLen: any seq within DefaultCrashLen of an opener is
+// lost.
+func TestCrashWindowDefaultLen(t *testing.T) {
+	sched, _ := NewSchedule(11, Profile{Crash: 0.1})
+	opener := -1
+	for seq := 0; seq < 1000; seq++ {
+		if _, o := sched.CrashesMessage("x>y", uint64(seq)); o {
+			opener = seq
+			break
+		}
+	}
+	if opener < 0 {
+		t.Fatal("no window opened in 1000 sends at rate 0.1")
+	}
+	for i := 0; i < DefaultCrashLen; i++ {
+		if l, _ := sched.CrashesMessage("x>y", uint64(opener+i)); !l {
+			t.Fatalf("seq %d inside the default window survived", opener+i)
+		}
+	}
+}
+
+// TestScheduledCrashNetwork drives a scheduled network under crash
+// windows and checks queue contents against the oracle, plus the
+// one-count-per-window obs accounting.
+func TestScheduledCrashNetwork(t *testing.T) {
+	o := obs.New(nil)
+	sched, err := NewSchedule(5, Profile{Crash: 0.25, CrashLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Obs = o
+	net := oneLink(t, 1, Injection{Sched: sched})
+	s := net.Start()[0]
+	// oneLink's Validate call already exercised seq 0 once; count from
+	// here.
+	base := o.Faults.Crash.Value()
+	const sends = 24
+	kept, windows := 0, 0
+	for seq := 0; seq < sends; seq++ {
+		if l, op := sched.CrashesMessage("x>y", uint64(seq)); !l {
+			kept++
+		} else if op {
+			windows++
+		}
+		s = step(t, net, s, ioa.Act("snd", "k0"))
+	}
+	ns := s.(*NetState)
+	if got := len(ns.Queue("x", "y")); got != kept {
+		t.Fatalf("queue holds %d messages, oracle says %d survive", got, kept)
+	}
+	if ns.Sent("x", "y") != sends {
+		t.Fatalf("sent counter %d, want %d", ns.Sent("x", "y"), sends)
+	}
+	if windows == 0 || kept == 0 {
+		t.Fatalf("degenerate pick: windows=%d kept=%d", windows, kept)
+	}
+	if got := o.Faults.Crash.Value() - base; got != int64(windows) {
+		t.Fatalf("crash counter %d, want one per window = %d", got, windows)
 	}
 }

@@ -224,6 +224,16 @@ func (s *NetState) offer(from, to, kind string, sched *Schedule) *NetState {
 		if o != nil {
 			o.Faults.Sent.AddShard(int(seq), 1)
 		}
+		if lost, opens := sched.CrashesMessage(ch, seq); lost {
+			if o != nil {
+				if opens {
+					o.Faults.Crash.AddShard(int(seq), 1)
+				}
+				o.Tracer.Instant(0, "faults", "crash-window", map[string]any{"channel": ch, "seq": seq, "opens": opens})
+			}
+			next[ch] = c
+			return newNetState(next)
+		}
 		if sched.DropsMessage(ch, seq) {
 			if o != nil {
 				o.Faults.Drop.AddShard(int(seq), 1)

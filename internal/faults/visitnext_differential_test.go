@@ -1,0 +1,200 @@
+package faults
+
+// Differential battery for the fault wrappers' ioa.Stepper fast paths
+// (stepper.go): for every fault-wrapped automaton, over every
+// reachable state and every signature action, the successors pushed
+// through VisitNext must equal the Next slice elementwise — the
+// explore engine and the stabilize certifier take the visitor path,
+// the reference explorer and the proof checkers take the allocating
+// path, and any disagreement silently splits their state spaces.
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/ioa"
+)
+
+// visitCollect gathers VisitNext successors.
+func visitCollect(a ioa.Automaton, s ioa.State, act ioa.Action) []ioa.State {
+	var out []ioa.State
+	ioa.VisitNext(a, s, act, func(n ioa.State) bool {
+		out = append(out, n)
+		return true
+	})
+	return out
+}
+
+// assertVisitNextMatchesNext sweeps the reachable states of a and
+// compares both successor paths for every action, plus the
+// early-termination contract on the first state with a successor.
+func assertVisitNextMatchesNext(t *testing.T, a ioa.Automaton) {
+	t.Helper()
+	states, err := explore.ReferenceReach(a, explore.DefaultLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := a.Sig().Acts().Sorted()
+	checkedStop := false
+	for _, s := range states {
+		for _, act := range acts {
+			want := a.Next(s, act)
+			got := visitCollect(a, s, act)
+			if len(got) != len(want) {
+				t.Fatalf("%s: state %q action %s: VisitNext yields %d successors, Next %d",
+					a.Name(), s.Key(), act, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Key() != want[i].Key() {
+					t.Fatalf("%s: state %q action %s successor %d: visit %q, next %q",
+						a.Name(), s.Key(), act, i, got[i].Key(), want[i].Key())
+				}
+			}
+			if !checkedStop && len(want) > 0 {
+				checkedStop = true
+				yields := 0
+				completed := ioa.VisitNext(a, s, act, func(ioa.State) bool {
+					yields++
+					return false
+				})
+				if completed || yields != 1 {
+					t.Fatalf("%s: early stop: completed=%v yields=%d", a.Name(), completed, yields)
+				}
+			}
+		}
+	}
+	if len(states) < 2 {
+		t.Fatalf("%s: trivial sweep (%d states)", a.Name(), len(states))
+	}
+}
+
+// modCounter is a bounded variant of the counter fixture (inc wraps
+// mod 3), so reachability sweeps terminate.
+func modCounter(t *testing.T) *ioa.Prog {
+	t.Helper()
+	val := func(s ioa.State) int {
+		n, _ := strconv.Atoi(string(s.(ioa.KeyState)))
+		return n
+	}
+	d := ioa.NewDef("modctr")
+	d.Start(ioa.KeyState("0"))
+	d.Input(ioa.Act("inc"), func(s ioa.State) ioa.State {
+		return ioa.KeyState(strconv.Itoa((val(s) + 1) % 3))
+	})
+	d.Output(ioa.Act("emit"), "ctr",
+		func(s ioa.State) bool { return val(s) > 0 },
+		func(s ioa.State) ioa.State { return ioa.KeyState(strconv.Itoa(val(s) - 1)) })
+	p, err := d.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// wrappedSystems builds every fault-wrapper shape around the bounded
+// counter fixture: crash-restart in both modes, clamp,
+// clamp-under-crash, and a composition of crash-wrapped components
+// (exercising the wrappers' visitors through the composite memo).
+func wrappedSystems(t *testing.T) map[string]ioa.Automaton {
+	t.Helper()
+	out := make(map[string]ioa.Automaton)
+	for _, mode := range []RestartMode{Reset, Resume} {
+		c, err := CrashRestart(modCounter(t), "p", mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["crash-"+mode.String()] = c
+	}
+	// Clamp the counter to at most 1; the fix is non-trivial (it
+	// rewrites states above the cap).
+	cap1 := func(s ioa.State) ioa.State {
+		if n, _ := strconv.Atoi(s.Key()); n > 1 {
+			return ioa.KeyState("1")
+		}
+		return s
+	}
+	out["clamp"] = Clamp(modCounter(t), "cap1", cap1)
+	crashedClamp, err := CrashRestart(Clamp(modCounter(t), "cap1", cap1), "q", Resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["crash-over-clamp"] = crashedClamp
+
+	comps := make([]ioa.Automaton, 2)
+	for i := range comps {
+		name := "r" + strconv.Itoa(i)
+		d := ioa.NewDef(name)
+		d.Start(ioa.KeyState("i"))
+		d.Input(ioa.Act("inc"), func(s ioa.State) ioa.State {
+			if s.Key() == "i" {
+				return ioa.KeyState("j")
+			}
+			return ioa.KeyState("i")
+		})
+		comps[i], err = CrashRestart(d.MustBuild(), name, Reset)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A shared input plus independent crash/restart actions: the
+	// composite steps both components on inc and one component on each
+	// fault action.
+	composed, err := ioa.Compose("crash-pair", comps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["composed-crash"] = composed
+	return out
+}
+
+func TestFaultWrapperVisitNextDifferential(t *testing.T) {
+	for name, a := range wrappedSystems(t) {
+		t.Run(name, func(t *testing.T) { assertVisitNextMatchesNext(t, a) })
+	}
+}
+
+// TestScheduledNetworkVisitNextDifferential covers the scheduled
+// network automaton (a plain Prog, so VisitNext takes the generic
+// fallback) under a fault-heavy profile including crash windows —
+// pinning that scheduled fault decisions are state-deterministic on
+// both paths.
+func TestScheduledNetworkVisitNextDifferential(t *testing.T) {
+	sched, err := NewSchedule(3, Profile{Drop: 0.2, Duplicate: 0.3, Delay: 1, Crash: 0.1, CrashLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := oneLink(t, 2, Injection{Sched: sched})
+	// Bound the sweep: the sent counter makes the raw space infinite,
+	// so sweep the states reachable within a send budget instead.
+	states := []ioa.State{net.Start()[0]}
+	seen := map[string]bool{states[0].Key(): true}
+	acts := net.Sig().Acts().Sorted()
+	for depth := 0; depth < 6; depth++ {
+		var next []ioa.State
+		for _, s := range states {
+			for _, act := range acts {
+				want := net.Next(s, act)
+				got := visitCollect(net, s, act)
+				if len(got) != len(want) {
+					t.Fatalf("state %q action %s: visit %d vs next %d", s.Key(), act, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].Key() != want[i].Key() {
+						t.Fatalf("state %q action %s: visit %q vs next %q", s.Key(), act, got[i].Key(), want[i].Key())
+					}
+				}
+				for _, n := range want {
+					if !seen[n.Key()] {
+						seen[n.Key()] = true
+						next = append(next, n)
+					}
+				}
+			}
+		}
+		states = next
+	}
+	if len(seen) < 10 {
+		t.Fatalf("trivial sweep: %d states", len(seen))
+	}
+}

@@ -1,4 +1,4 @@
-package ltl
+package ltl_test
 
 import (
 	"math/rand"
@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/figures"
 	"repro/internal/ioa"
+	"repro/internal/ltl"
 	"repro/internal/sim"
 	"repro/internal/testseed"
 )
@@ -28,35 +29,35 @@ func randomExecutions(t *testing.T, count int) []*ioa.Execution {
 }
 
 // randomFormula builds a random LTLf formula over the Fig23 alphabet.
-func randomFormula(rng *rand.Rand, depth int) Formula {
+func randomFormula(rng *rand.Rand, depth int) ltl.Formula {
 	if depth == 0 {
 		switch rng.Intn(4) {
 		case 0:
-			return Act(figures.Alpha)
+			return ltl.Act(figures.Alpha)
 		case 1:
-			return Act(figures.Beta)
+			return ltl.Act(figures.Beta)
 		case 2:
-			return State("c0", func(s ioa.State) bool { return s.Key() == "c0" })
+			return ltl.State("c0", func(s ioa.State) bool { return s.Key() == "c0" })
 		default:
-			return True
+			return ltl.True
 		}
 	}
-	sub := func() Formula { return randomFormula(rng, depth-1) }
+	sub := func() ltl.Formula { return randomFormula(rng, depth-1) }
 	switch rng.Intn(7) {
 	case 0:
-		return Not(sub())
+		return ltl.Not(sub())
 	case 1:
-		return And(sub(), sub())
+		return ltl.And(sub(), sub())
 	case 2:
-		return Or(sub(), sub())
+		return ltl.Or(sub(), sub())
 	case 3:
-		return Next(sub())
+		return ltl.Next(sub())
 	case 4:
-		return Eventually(sub())
+		return ltl.Eventually(sub())
 	case 5:
-		return Always(sub())
+		return ltl.Always(sub())
 	default:
-		return Until(sub(), sub())
+		return ltl.Until(sub(), sub())
 	}
 }
 
@@ -75,13 +76,13 @@ func TestLTLDualities(t *testing.T) {
 			for i := 0; i <= x.Len(); i++ {
 				pairs := []struct {
 					name string
-					l, r Formula
+					l, r ltl.Formula
 				}{
-					{name: "¬◇φ ≡ □¬φ", l: Not(Eventually(f)), r: Always(Not(f))},
-					{name: "¬□φ ≡ ◇¬φ", l: Not(Always(f)), r: Eventually(Not(f))},
-					{name: "◇φ ≡ ⊤Uφ", l: Eventually(f), r: Until(True, f)},
-					{name: "□φ ≡ ¬(⊤U¬φ)", l: Always(f), r: Not(Until(True, Not(f)))},
-					{name: "Xφ ≡ ¬X̃¬φ", l: Next(f), r: Not(WeakNext(Not(f)))},
+					{name: "¬◇φ ≡ □¬φ", l: ltl.Not(ltl.Eventually(f)), r: ltl.Always(ltl.Not(f))},
+					{name: "¬□φ ≡ ◇¬φ", l: ltl.Not(ltl.Always(f)), r: ltl.Eventually(ltl.Not(f))},
+					{name: "◇φ ≡ ⊤Uφ", l: ltl.Eventually(f), r: ltl.Until(ltl.True, f)},
+					{name: "□φ ≡ ¬(⊤U¬φ)", l: ltl.Always(f), r: ltl.Not(ltl.Until(ltl.True, ltl.Not(f)))},
+					{name: "Xφ ≡ ¬X̃¬φ", l: ltl.Next(f), r: ltl.Not(ltl.WeakNext(ltl.Not(f)))},
 				}
 				for _, p := range pairs {
 					if p.l.Eval(x, i) != p.r.Eval(x, i) {
@@ -108,14 +109,14 @@ func TestLTLExpansionLaws(t *testing.T) {
 		g := randomFormula(rng, 1)
 		for _, x := range execs {
 			for i := 0; i <= x.Len(); i++ {
-				if Eventually(f).Eval(x, i) != Or(f, Next(Eventually(f))).Eval(x, i) {
+				if ltl.Eventually(f).Eval(x, i) != ltl.Or(f, ltl.Next(ltl.Eventually(f))).Eval(x, i) {
 					t.Fatalf("◇ expansion fails for %s at %d", f, i)
 				}
-				if Always(f).Eval(x, i) != And(f, WeakNext(Always(f))).Eval(x, i) {
+				if ltl.Always(f).Eval(x, i) != ltl.And(f, ltl.WeakNext(ltl.Always(f))).Eval(x, i) {
 					t.Fatalf("□ expansion fails for %s at %d", f, i)
 				}
-				lhs := Until(f, g).Eval(x, i)
-				rhs := Or(g, And(f, Next(Until(f, g)))).Eval(x, i)
+				lhs := ltl.Until(f, g).Eval(x, i)
+				rhs := ltl.Or(g, ltl.And(f, ltl.Next(ltl.Until(f, g)))).Eval(x, i)
 				if lhs != rhs {
 					t.Fatalf("U expansion fails for %s U %s at %d", f, g, i)
 				}

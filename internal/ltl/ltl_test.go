@@ -1,4 +1,4 @@
-package ltl
+package ltl_test
 
 import (
 	"testing"
@@ -6,6 +6,7 @@ import (
 	"repro/internal/arbiter/spec"
 	"repro/internal/arbiter/users"
 	"repro/internal/ioa"
+	"repro/internal/ltl"
 	"repro/internal/ring"
 	"repro/internal/sim"
 )
@@ -24,12 +25,12 @@ func run(t *testing.T, n int, acts ...ioa.Action) (*ioa.Execution, spec.Users) {
 	return x, us
 }
 
-func holderIs(u int) Formula {
-	return State("holder=u", func(s ioa.State) bool { return s.(*spec.State).Holder() == u })
+func holderIs(u int) ltl.Formula {
+	return ltl.State("holder=u", func(s ioa.State) bool { return s.(*spec.State).Holder() == u })
 }
 
-func requesting(u int) Formula {
-	return State("requesting", func(s ioa.State) bool { return s.(*spec.State).Requesting(u) })
+func requesting(u int) ltl.Formula {
+	return ltl.State("requesting", func(s ioa.State) bool { return s.(*spec.State).Requesting(u) })
 }
 
 func TestAtomsAndBooleans(t *testing.T) {
@@ -37,18 +38,18 @@ func TestAtomsAndBooleans(t *testing.T) {
 	_ = us
 	tests := []struct {
 		name string
-		f    Formula
+		f    ltl.Formula
 		at   int
 		want bool
 	}{
 		{name: "state-initial", f: holderIs(0), at: 0, want: false},
 		{name: "state-after-grant", f: holderIs(0), at: 2, want: true},
-		{name: "action-at", f: Act(spec.Request("u0")), at: 0, want: true},
-		{name: "action-final-position", f: Act(spec.Grant("u0")), at: 2, want: false},
-		{name: "not", f: Not(holderIs(0)), at: 0, want: true},
-		{name: "and", f: And(True, Not(False)), at: 0, want: true},
-		{name: "or", f: Or(False, holderIs(0)), at: 2, want: true},
-		{name: "implies-vacuous", f: Implies(False, False), at: 0, want: true},
+		{name: "action-at", f: ltl.Act(spec.Request("u0")), at: 0, want: true},
+		{name: "action-final-position", f: ltl.Act(spec.Grant("u0")), at: 2, want: false},
+		{name: "not", f: ltl.Not(holderIs(0)), at: 0, want: true},
+		{name: "and", f: ltl.And(ltl.True, ltl.Not(ltl.False)), at: 0, want: true},
+		{name: "or", f: ltl.Or(ltl.False, holderIs(0)), at: 2, want: true},
+		{name: "implies-vacuous", f: ltl.Implies(ltl.False, ltl.False), at: 0, want: true},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -67,27 +68,27 @@ func TestTemporalOperators(t *testing.T) {
 		spec.Request("u0"), spec.Grant("u0"), spec.Return("u0"),
 		spec.Request("u1"), spec.Grant("u1"))
 
-	if !Holds(Eventually(holderIs(1)), x) {
+	if !ltl.Holds(ltl.Eventually(holderIs(1)), x) {
 		t.Error("◇(holder=u1) must hold")
 	}
-	if Holds(Always(Not(holderIs(0))), x) {
+	if ltl.Holds(ltl.Always(ltl.Not(holderIs(0))), x) {
 		t.Error("□¬(holder=u0) must fail")
 	}
-	if !Holds(Until(Not(holderIs(1)), Act(spec.Grant("u1"))), x) {
+	if !ltl.Holds(ltl.Until(ltl.Not(holderIs(1)), ltl.Act(spec.Grant("u1"))), x) {
 		t.Error("(¬holder=u1) U grant(u1) must hold")
 	}
-	if !Holds(Next(Next(holderIs(0))), x) {
+	if !ltl.Holds(ltl.Next(ltl.Next(holderIs(0))), x) {
 		t.Error("XX(holder=u0) must hold after request then grant")
 	}
 	// Strong vs weak next at the final position.
-	if Next(True).Eval(x, x.Len()) {
+	if ltl.Next(ltl.True).Eval(x, x.Len()) {
 		t.Error("strong next must fail at the final position")
 	}
-	if !WeakNext(False).Eval(x, x.Len()) {
+	if !ltl.WeakNext(ltl.False).Eval(x, x.Len()) {
 		t.Error("weak next must hold at the final position")
 	}
-	if got := FirstFailure(Not(holderIs(0)), x); got != 2 {
-		t.Errorf("FirstFailure = %d, want 2", got)
+	if got := ltl.FirstFailure(ltl.Not(holderIs(0)), x); got != 2 {
+		t.Errorf("ltl.FirstFailure = %d, want 2", got)
 	}
 }
 
@@ -112,11 +113,11 @@ func TestMutualExclusionFormula(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mutex := State("≤1 holder", func(s ioa.State) bool { return sys.HolderCount(s) <= 1 })
-	oneToken := State("1 token", func(s ioa.State) bool { return sys.TokenCount(s) == 1 })
-	safety := Always(And(mutex, oneToken))
-	if !Holds(safety, proj) {
-		t.Errorf("safety %s fails at position %d", safety, FirstFailure(And(mutex, oneToken), proj))
+	mutex := ltl.State("≤1 holder", func(s ioa.State) bool { return sys.HolderCount(s) <= 1 })
+	oneToken := ltl.State("1 token", func(s ioa.State) bool { return sys.TokenCount(s) == 1 })
+	safety := ltl.Always(ltl.And(mutex, oneToken))
+	if !ltl.Holds(safety, proj) {
+		t.Errorf("safety %s fails at position %d", safety, ltl.FirstFailure(ltl.And(mutex, oneToken), proj))
 	}
 }
 
@@ -125,26 +126,26 @@ func TestMutualExclusionFormula(t *testing.T) {
 // runs the tail obligation correctly falsifies the formula).
 func TestLeadsToFormula(t *testing.T) {
 	full, _ := run(t, 2, spec.Request("u0"), spec.Grant("u0"), spec.Return("u0"))
-	noLockout := LeadsTo(requesting(0), Act(spec.Grant("u0")))
-	if !Holds(noLockout, full) {
+	noLockout := ltl.LeadsTo(requesting(0), ltl.Act(spec.Grant("u0")))
+	if !ltl.Holds(noLockout, full) {
 		t.Errorf("%s must hold on the completed round", noLockout)
 	}
 	truncated, _ := run(t, 2, spec.Request("u0"))
-	if Holds(noLockout, truncated) {
+	if ltl.Holds(noLockout, truncated) {
 		t.Error("LTLf: an undischarged obligation falsifies leads-to on the finite trace")
 	}
 }
 
 func TestFormulaStrings(t *testing.T) {
-	f := LeadsTo(State("p", nil), Action("g", nil))
+	f := ltl.LeadsTo(ltl.State("p", nil), ltl.Action("g", nil))
 	want := "□(p ⊃ ◇⟨g⟩)"
 	if f.String() != want {
 		t.Errorf("String = %q, want %q", f.String(), want)
 	}
-	if True.String() != "⊤" || False.String() != "⊥" {
+	if ltl.True.String() != "⊤" || ltl.False.String() != "⊥" {
 		t.Error("constant strings")
 	}
-	if Until(True, False).String() != "(⊤ U ⊥)" {
-		t.Errorf("until string = %q", Until(True, False).String())
+	if ltl.Until(ltl.True, ltl.False).String() != "(⊤ U ⊥)" {
+		t.Errorf("until string = %q", ltl.Until(ltl.True, ltl.False).String())
 	}
 }

@@ -35,15 +35,16 @@ type Obs struct {
 	// Tracer collects trace_event spans for -trace-out.
 	Tracer *Tracer
 
-	// Explore, Memo, Sim, Faults, Proof, Store are the per-subsystem
-	// metric sets, pre-resolved from Reg so hot paths never take the
-	// registry lock.
-	Explore *ExploreMetrics
-	Memo    *MemoMetrics
-	Sim     *SimMetrics
-	Faults  *FaultMetrics
-	Proof   *ProofMetrics
-	Store   *StoreMetrics
+	// Explore, Memo, Sim, Faults, Proof, Store, Stabilize are the
+	// per-subsystem metric sets, pre-resolved from Reg so hot paths
+	// never take the registry lock.
+	Explore   *ExploreMetrics
+	Memo      *MemoMetrics
+	Sim       *SimMetrics
+	Faults    *FaultMetrics
+	Proof     *ProofMetrics
+	Store     *StoreMetrics
+	Stabilize *StabilizeMetrics
 
 	clock func() time.Time
 }
@@ -56,15 +57,16 @@ func New(clock func() time.Time) *Obs {
 	}
 	reg := NewRegistry()
 	return &Obs{
-		Reg:     reg,
-		Tracer:  NewTracer(clock),
-		Explore: newExploreMetrics(reg),
-		Memo:    newMemoMetrics(reg),
-		Sim:     newSimMetrics(reg),
-		Faults:  newFaultMetrics(reg),
-		Proof:   newProofMetrics(reg),
-		Store:   newStoreMetrics(reg),
-		clock:   clock,
+		Reg:       reg,
+		Tracer:    NewTracer(clock),
+		Explore:   newExploreMetrics(reg),
+		Memo:      newMemoMetrics(reg),
+		Sim:       newSimMetrics(reg),
+		Faults:    newFaultMetrics(reg),
+		Proof:     newProofMetrics(reg),
+		Store:     newStoreMetrics(reg),
+		Stabilize: newStabilizeMetrics(reg),
+		clock:     clock,
 	}
 }
 
@@ -223,6 +225,36 @@ func newStoreMetrics(r *Registry) *StoreMetrics {
 	return &StoreMetrics{
 		Occupancy:  r.Gauge("store.occupancy"),
 		ArenaBytes: r.Gauge("store.arena_bytes"),
+	}
+}
+
+// StabilizeMetrics instruments the self-stabilization certifier
+// (internal/stabilize): certification runs, envelope and closure
+// sizes, the measured convergence bound, and the per-envelope-state
+// rounds-to-legitimacy distribution (the stabilization-time histogram
+// behind EXPERIMENTS.md E19).
+type StabilizeMetrics struct {
+	// Runs counts certification runs.
+	Runs *Counter
+	// States is the envelope-closure size of the latest run.
+	States *Gauge
+	// Envelope is the distinct corrupt-start count of the latest run.
+	Envelope *Gauge
+	// K is the latest measured worst-case rounds-to-legitimacy; -1
+	// when convergence is fair-only (unbounded) or fails.
+	K *Gauge
+	// Rounds is the distribution of rounds-to-legitimacy over envelope
+	// states, accumulated across runs.
+	Rounds *Histogram
+}
+
+func newStabilizeMetrics(r *Registry) *StabilizeMetrics {
+	return &StabilizeMetrics{
+		Runs:     r.Counter("stabilize.runs"),
+		States:   r.Gauge("stabilize.closure_states"),
+		Envelope: r.Gauge("stabilize.envelope_states"),
+		K:        r.Gauge("stabilize.k"),
+		Rounds:   r.Histogram("stabilize.rounds_to_legitimacy"),
 	}
 }
 

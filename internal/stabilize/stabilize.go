@@ -1,0 +1,448 @@
+// Package stabilize certifies self-stabilization properties of I/O
+// automata: closure (the legitimate-state set L is invariant under
+// every step) and convergence (from every state of an enumerable
+// corruption envelope, every fair execution reaches L, with a measured
+// worst-case round bound k when one exists).
+//
+// The paper's hierarchy (§3) proves the arbiter correct from its
+// designated initial states; this package asks the complementary
+// robustness question — what happens when a fault throws the system
+// into an arbitrary corrupt state? Following the certified
+// self-stabilization framework of Altisen, Corbineau & Devismes, both
+// halves are mechanical checks over a finite transition graph:
+//
+//   - The corruption envelope (an Envelope — an explicit state list,
+//     or the reachable states of a fault-wrapped automaton projected
+//     back into the certified automaton's state space) is closed
+//     under steps by the explore engine, giving dense state IDs in
+//     the interned store.
+//
+//   - Closure scans every legitimate state's outgoing edges: an edge
+//     leaving L is a closure break, witnessed by its step.
+//
+//   - Convergence computes a per-state rounds-to-legitimacy table by
+//     DFS over the non-legitimate region: r(s) = 0 for s ∈ L,
+//     otherwise 1 + max over successors — the demonic bound over
+//     every scheduling choice. A cycle or deadlock inside the
+//     non-legitimate region makes those states divergent. With no
+//     divergence, convergence is bounded and k = max r over the
+//     envelope. With divergence, a deadlock outside L refutes
+//     convergence outright (a finite fair execution ends outside L);
+//     otherwise the ltl lasso machinery searches the divergent region
+//     for a fair-sustainable cycle (§2.2.1 condition 2) — one found
+//     refutes convergence under fair scheduling, none found certifies
+//     fair convergence without a uniform bound (a demon can postpone
+//     recovery arbitrarily, but no fair execution avoids L forever).
+//
+// Determinism: the closure is explored in the engine's canonical
+// order, the graph probes actions sorted, and every scan walks nodes
+// in dense-ID order, so certificates — including which witness is
+// reported — are bit-identical across runs at a fixed worker count.
+//
+// Caveat carried from the lasso machinery: the fair-cycle search
+// covers simple cycles only, so a "converges fairly, unbounded"
+// verdict shares FindLasso's approximation (a non-simple fair cycle
+// whose simple sub-cycles are all unfair would be missed). Bounded
+// verdicts and refutations are exact.
+package stabilize
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/explore"
+	"repro/internal/ioa"
+	"repro/internal/ltl"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// Options parameterizes certification.
+type Options struct {
+	// Workers is the explore engine's worker count (0 = GOMAXPROCS,
+	// 1 = sequential).
+	Workers int
+	// Limit bounds the envelope closure (0 = explore.DefaultLimit).
+	// Hitting the limit is an error: a certificate over a truncated
+	// closure certifies nothing.
+	Limit int
+	// Obs, when non-nil, publishes stabilize.* metrics: run counts,
+	// envelope/closure gauges, the measured k, and the
+	// rounds-to-legitimacy histogram.
+	Obs *obs.Obs
+}
+
+// engine builds the explore engine the options describe.
+func (o Options) engine() *explore.Engine {
+	return explore.New(explore.Options{Workers: o.Workers, Limit: o.Limit, Obs: o.Obs})
+}
+
+// A Step is one transition witness.
+type Step struct {
+	From ioa.State
+	Act  ioa.Action
+	To   ioa.State
+}
+
+// String renders the step.
+func (s *Step) String() string {
+	return fmt.Sprintf("%s --%s--> %s", s.From.Key(), s.Act, s.To.Key())
+}
+
+// A Divergence witnesses a convergence failure.
+type Divergence struct {
+	// Kind is "deadlock" (a non-legitimate state with no outgoing
+	// steps ends a finite fair execution outside L) or "cycle" (a
+	// fair-sustainable cycle avoids L forever).
+	Kind string
+	// State is the divergent state the witness reaches: the deadlock
+	// state, or the cycle's anchor.
+	State ioa.State
+	// Cycle and CycleStates describe the fair cycle (Kind "cycle"):
+	// the actions around it and the states visited, first and last
+	// both State.
+	Cycle       []ioa.Action
+	CycleStates []ioa.State
+	// Witness is a minimal execution from an envelope state to State.
+	Witness *ioa.Execution
+}
+
+// A Certificate records the verdicts of one certification run.
+type Certificate struct {
+	// Automaton and Envelope name what was certified.
+	Automaton string
+	Envelope  string
+	// EnvelopeStates counts distinct corrupt start states.
+	EnvelopeStates int
+	// States is the size of the envelope's closure under steps — the
+	// graph both checks ran over.
+	States int
+	// LegitStates counts legitimate states inside the closure.
+	LegitStates int
+
+	// Closed reports that no step leaves L within the closure; a
+	// break is witnessed by ClosureBreak. (Closure is certified over
+	// the explored graph: legitimate states outside the envelope's
+	// closure are not examined, so envelopes meant to certify L
+	// itself must cover it — the full-corruption envelope does.)
+	Closed       bool
+	ClosureBreak *Step
+
+	// Converges reports that every fair execution from every envelope
+	// state reaches L. Bounded additionally reports a uniform step
+	// bound: K is the measured worst case over envelope states and
+	// MeanRounds the envelope average. When Converges && !Bounded,
+	// recovery is fair-only: K = -1 and a scheduling demon can defer
+	// L arbitrarily long. When !Converges, Divergence holds the
+	// witness.
+	Converges  bool
+	Bounded    bool
+	K          int
+	MeanRounds float64
+	// Rounds is the per-state rounds-to-legitimacy table, indexed by
+	// dense state ID in closure order; -1 marks divergent states.
+	Rounds []int
+
+	Divergence *Divergence
+}
+
+// Stabilizing reports the combined verdict.
+func (c *Certificate) Stabilizing() bool { return c.Closed && c.Converges }
+
+// String renders a human-readable certificate summary.
+func (c *Certificate) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stabilize: %s under envelope %q\n", c.Automaton, c.Envelope)
+	fmt.Fprintf(&b, "  envelope %d state(s) -> closure %d state(s), %d legitimate\n",
+		c.EnvelopeStates, c.States, c.LegitStates)
+	if c.Closed {
+		b.WriteString("  closure:     OK — L is invariant under all steps\n")
+	} else {
+		fmt.Fprintf(&b, "  closure:     BROKEN — step %s leaves L\n", c.ClosureBreak)
+	}
+	switch {
+	case c.Converges && c.Bounded:
+		fmt.Fprintf(&b, "  convergence: OK — every execution reaches L within k=%d round(s) (envelope mean %.2f)\n",
+			c.K, c.MeanRounds)
+	case c.Converges:
+		b.WriteString("  convergence: OK under fairness — every fair execution reaches L; no uniform bound\n")
+	case c.Divergence != nil && c.Divergence.Kind == "deadlock":
+		fmt.Fprintf(&b, "  convergence: FAILED — deadlock outside L at %s\n", c.Divergence.State.Key())
+	case c.Divergence != nil:
+		fmt.Fprintf(&b, "  convergence: FAILED — fair cycle outside L: %s\n", ioa.TraceString(c.Divergence.Cycle))
+	default:
+		b.WriteString("  convergence: FAILED\n")
+	}
+	if c.Stabilizing() {
+		b.WriteString("  verdict:     SELF-STABILIZING")
+	} else {
+		b.WriteString("  verdict:     NOT self-stabilizing")
+	}
+	return b.String()
+}
+
+// seeded overrides an automaton's start states with the corruption
+// envelope, so the explore engine's reachability sweep computes the
+// envelope's closure under steps.
+type seeded struct {
+	ioa.Automaton
+	starts []ioa.State
+}
+
+// Start implements ioa.Automaton.
+func (s *seeded) Start() []ioa.State { return s.starts }
+
+// VisitNext forwards the wrapped automaton's Stepper fast path;
+// embedding the interface alone would hide a dynamic Stepper behind
+// Next.
+func (s *seeded) VisitNext(st ioa.State, a ioa.Action, yield func(ioa.State) bool) bool {
+	return ioa.VisitNext(s.Automaton, st, a, yield)
+}
+
+var _ ioa.Stepper = (*seeded)(nil)
+
+// rounds-table colors.
+const (
+	colWhite = iota
+	colGray
+	colDone
+)
+
+// Certify checks closure and convergence of a with respect to the
+// legitimate-state predicate legit, from the corruption envelope env.
+func Certify(ctx context.Context, a ioa.Automaton, legit func(ioa.State) bool, env Envelope, opts Options) (*Certificate, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if legit == nil {
+		return nil, fmt.Errorf("stabilize: nil legitimacy predicate")
+	}
+	if env == nil {
+		return nil, fmt.Errorf("stabilize: nil envelope")
+	}
+	envStates, err := env.States(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(envStates) == 0 {
+		return nil, fmt.Errorf("stabilize: envelope %q is empty", env.Name())
+	}
+	distinct := store.New(store.Options{})
+	nEnv := 0
+	for _, s := range envStates {
+		if _, fresh := distinct.Intern(s); fresh {
+			nEnv++
+		}
+	}
+
+	// Close the envelope under steps. The first nEnv states of the
+	// result are exactly the distinct envelope states: both engines
+	// emit depth 0 (the start states) before any successor.
+	w := &seeded{Automaton: a, starts: envStates}
+	eng := opts.engine()
+	states, err := eng.Reach(ctx, w)
+	if err != nil {
+		return nil, fmt.Errorf("stabilize: closing envelope %q: %w", env.Name(), err)
+	}
+	g, err := ltl.BuildGraph(ctx, w, states, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	cert := &Certificate{
+		Automaton:      a.Name(),
+		Envelope:       env.Name(),
+		EnvelopeStates: nEnv,
+		States:         len(states),
+	}
+	legitAt := make([]bool, len(states))
+	for i, s := range states {
+		if legit(s) {
+			legitAt[i] = true
+			cert.LegitStates++
+		}
+	}
+
+	// Closure: no edge may leave L. First break in (node, edge) order
+	// wins, deterministically.
+	cert.Closed = true
+closure:
+	for i := range states {
+		if !legitAt[i] {
+			continue
+		}
+		for _, e := range g.Adj[i] {
+			if !legitAt[e.To] {
+				cert.Closed = false
+				cert.ClosureBreak = &Step{From: states[i], Act: e.Act, To: states[e.To]}
+				break closure
+			}
+		}
+	}
+
+	divergent := cert.roundsTable(g, legitAt)
+
+	if !divergent {
+		cert.Converges, cert.Bounded = true, true
+		sum := 0
+		for i := 0; i < nEnv; i++ {
+			if r := cert.Rounds[i]; r > cert.K {
+				cert.K = r
+			} else if r < 0 {
+				return nil, fmt.Errorf("stabilize: internal error: envelope state %d unsettled", i)
+			}
+			sum += cert.Rounds[i]
+		}
+		cert.MeanRounds = float64(sum) / float64(nEnv)
+	} else {
+		cert.K = -1
+		if err := cert.refuteOrCertifyFair(ctx, eng, w, g, legitAt); err != nil {
+			return nil, err
+		}
+	}
+
+	if o := opts.Obs; o != nil {
+		o.Stabilize.Runs.Add(1)
+		o.Stabilize.States.Set(int64(cert.States))
+		o.Stabilize.Envelope.Set(int64(cert.EnvelopeStates))
+		o.Stabilize.K.Set(int64(cert.K))
+		for i := 0; i < nEnv; i++ {
+			if r := cert.Rounds[i]; r >= 0 {
+				o.Stabilize.Rounds.Observe(int64(r))
+			}
+		}
+	}
+	return cert, nil
+}
+
+// roundsTable fills cert.Rounds with the demonic rounds-to-legitimacy
+// bound per state — r(s) = 0 on L, else 1 + max over successors — via
+// iterative DFS with colors over the non-legitimate region. A state on
+// or leading into a non-legitimate cycle, or deadlocked outside L, is
+// divergent (-1). Returns whether any state diverged.
+func (c *Certificate) roundsTable(g *ltl.StateGraph, legitAt []bool) bool {
+	n := len(g.States)
+	c.Rounds = make([]int, n)
+	color := make([]byte, n)
+	diverged := false
+	for i := range c.Rounds {
+		if legitAt[i] {
+			color[i] = colDone
+		} else {
+			c.Rounds[i] = -1
+		}
+	}
+	type frame struct {
+		node, edge, best int
+		div              bool
+	}
+	var stack []frame
+	for root := 0; root < n; root++ {
+		if color[root] != colWhite {
+			continue
+		}
+		color[root] = colGray
+		stack = append(stack[:0], frame{node: root, best: -1})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			adj := g.Adj[f.node]
+			if f.edge < len(adj) {
+				child := adj[f.edge].To
+				f.edge++
+				switch color[child] {
+				case colWhite:
+					// Defer: the child's verdict folds into this frame
+					// when the child frame pops.
+					color[child] = colGray
+					stack = append(stack, frame{node: child, best: -1})
+				case colGray:
+					// Back edge: a cycle through non-legitimate states.
+					f.div = true
+				default:
+					if c.Rounds[child] < 0 {
+						f.div = true
+					} else if r := c.Rounds[child] + 1; r > f.best {
+						f.best = r
+					}
+				}
+				continue
+			}
+			// f.best < 0 with no divergent successor means no outgoing
+			// steps at all: a deadlock outside L.
+			childDiv := f.div || f.best < 0
+			if childDiv {
+				diverged = true
+			} else {
+				c.Rounds[f.node] = f.best
+			}
+			color[f.node] = colDone
+			node := f.node
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := &stack[len(stack)-1]
+				if childDiv {
+					p.div = true
+				} else if r := c.Rounds[node] + 1; r > p.best {
+					p.best = r
+				}
+			}
+		}
+	}
+	return diverged
+}
+
+// refuteOrCertifyFair settles convergence when the rounds table
+// diverged: a deadlock outside L refutes it; otherwise a
+// fair-sustainable cycle within the non-legitimate region refutes it;
+// otherwise convergence holds under fairness, without a bound.
+func (c *Certificate) refuteOrCertifyFair(ctx context.Context, eng *explore.Engine, w ioa.Automaton, g *ltl.StateGraph, legitAt []bool) error {
+	for i := range g.States {
+		if !legitAt[i] && len(g.Adj[i]) == 0 {
+			wit, err := witnessTo(ctx, eng, w, g.States[i])
+			if err != nil {
+				return err
+			}
+			c.Divergence = &Divergence{Kind: "deadlock", State: g.States[i], Witness: wit}
+			return nil
+		}
+	}
+	outsideL := func(i int) bool { return !legitAt[i] }
+	start, acts, nodes, err := g.FindCycle(ctx, w, ltl.CycleOptions{Fair: true, Within: outsideL})
+	if err != nil {
+		return err
+	}
+	if acts == nil {
+		// Divergent states exist but no fair simple cycle sustains
+		// them: every fair execution leaves the divergent region and,
+		// rounds decreasing thereafter, reaches L.
+		c.Converges = true
+		return nil
+	}
+	wit, err := witnessTo(ctx, eng, w, g.States[start])
+	if err != nil {
+		return err
+	}
+	c.Divergence = &Divergence{
+		Kind:        "cycle",
+		State:       g.States[start],
+		Cycle:       acts,
+		CycleStates: g.PathStates(nodes),
+		Witness:     wit,
+	}
+	return nil
+}
+
+// witnessTo builds a minimal execution from an envelope state to
+// target, via the engine's BFS invariant checker.
+func witnessTo(ctx context.Context, eng *explore.Engine, w ioa.Automaton, target ioa.State) (*ioa.Execution, error) {
+	tk := target.Key()
+	v, err := eng.CheckInvariant(ctx, w, func(s ioa.State) bool { return s.Key() != tk })
+	if err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return nil, fmt.Errorf("stabilize: witness target %q unreachable", tk)
+	}
+	return v.Trace, nil
+}
