@@ -28,8 +28,18 @@
 //	             [-store-bench] [-store-users n] [-store-bench-out file]
 //	             [-obs-bench] [-obs-users n] [-obs-bench-out file]
 //	             [-stabilize-bench] [-stabilize-sizes n] [-stabilize-out file]
+//	             [-reduction] [-reduction-out file]
 //	             [-chaos] [-recover-within k]
 //	             [-obs-addr host:port]
+//
+// The -reduction sweep (E20) measures symmetry quotienting and
+// ample-set partial-order reduction against unreduced exploration on
+// the closed arbiter systems (spec arbiter under Sₙ, binary-tree and
+// star level-3 under POR, the star additionally under its free Zₙ
+// rotation group), cross-checking the mutual-exclusion verdict in
+// every mode; -reduction-out writes the rows as JSON
+// (BENCH_reduction.json). With -quick the sweep shrinks to smoke
+// sizes.
 //
 // The -stabilize-bench sweep (E19) certifies self-stabilization:
 // Dijkstra's K-state token ring over ring sizes up to -stabilize-sizes
@@ -82,6 +92,8 @@ func main() {
 		stabBench    = flag.Bool("stabilize-bench", false, "run the self-stabilization certification sweep and exit")
 		stabSizes    = flag.Int("stabilize-sizes", 4, "largest Dijkstra ring size in the -stabilize-bench sweep")
 		stabOut      = flag.String("stabilize-out", "", "write -stabilize-bench rows as JSON to this file")
+		reduction    = flag.Bool("reduction", false, "run the symmetry/POR reduction sweep and exit")
+		reductionOut = flag.String("reduction-out", "", "write -reduction rows as JSON to this file")
 		chaosOnly    = flag.Bool("chaos", false, "run only the chaos sweep; exit non-zero if a fault-free cell fails recovery")
 		recoverIn    = flag.Int("recover-within", 60, "chaos recovery window k in states/steps (0 disables the criterion)")
 		obsAddr      = flag.String("obs-addr", "", "serve live expvar + pprof debug endpoints on this address (e.g. :6060)")
@@ -142,6 +154,33 @@ func main() {
 			}
 			if err := f.Close(); err != nil {
 				log.Fatalf("stabilize out: %v", err)
+			}
+		}
+		return
+	}
+
+	if *reduction {
+		cfg := bench.ReductionConfig{Workers: ex.Workers(), Limit: ex.Limit()}
+		if *quick {
+			cfg.SpecUsers = []int{3}
+			cfg.TreeUsers = []int{3}
+			cfg.StarUsers = []int{4}
+		}
+		rows, err := bench.ReductionSweep(cfg)
+		if err != nil {
+			log.Fatalf("reduction sweep: %v", err)
+		}
+		bench.PrintReduction(os.Stdout, rows)
+		if *reductionOut != "" {
+			f, err := os.Create(*reductionOut)
+			if err != nil {
+				log.Fatalf("reduction out: %v", err)
+			}
+			if err := bench.WriteReductionJSON(f, rows); err != nil {
+				log.Fatalf("reduction out: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("reduction out: %v", err)
 			}
 		}
 		return

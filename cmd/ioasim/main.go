@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ioasim -system fig21|fig22|fig23c|arbiter1|arbiter2|arbiter3|arbiter3r|ring|mutex|dijkstra
+//	ioasim -system fig21|fig22|fig23c|arbiter1|arbiter2|arbiter3|arbiter3r|star|ring|mutex|dijkstra
 //	       [-steps n] [-policy rr|random] [-seed n] [-users n]
 //	       [-faults drop=0.1,dup=0.05,delay=3] [-fault-seed n]
 //	       [-trace] [-json] [-dot] [-reach] [-stabilize]
@@ -78,9 +78,11 @@ import (
 	"repro/internal/ioa"
 	"repro/internal/mutex"
 	"repro/internal/obs"
+	"repro/internal/reduce"
 	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/stabilize"
+	"repro/internal/store"
 )
 
 // config carries every flag; run is pure in (config, out), so tests
@@ -98,6 +100,8 @@ type config struct {
 	faultSd   int64
 	reach     bool
 	stabilize bool
+	symmetry  bool
+	por       bool
 	explore   explore.Options
 
 	obsAddr    string
@@ -127,6 +131,8 @@ func main() {
 	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write a metrics snapshot JSON file to this path")
 	flag.Parse()
 	cfg.explore = ex.Options(nil, nil)
+	cfg.symmetry = ex.Symmetry()
+	cfg.por = ex.POR()
 	if err := run(cfg, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
@@ -167,6 +173,9 @@ func run(cfg config, out io.Writer) error {
 			if o != nil {
 				ioa.SetObsDeep(auto, o)
 			}
+			auto, err = applyReduction(&cfg, auto)
+		}
+		if err == nil {
 			err = dispatch(cfg, auto, o, out)
 		}
 	}
@@ -183,6 +192,84 @@ func run(cfg config, out io.Writer) error {
 	return err
 }
 
+// systemCanonicalizer resolves -symmetry for a system: the
+// canonicalizer of its automorphism group, or an error for systems
+// with none registered.
+func systemCanonicalizer(system string, nUsers int) (store.Canonicalizer, error) {
+	switch system {
+	case "arbiter1":
+		return reduce.NewArbiterUsers(nUsers)
+	case "star":
+		return reduce.NewStarRotation(nUsers)
+	case "ring":
+		return reduce.NewRingRotation(nUsers)
+	case "dijkstra":
+		return reduce.NewDijkstraShift(nUsers)
+	default:
+		return nil, fmt.Errorf("-symmetry: no canonicalizer registered for system %q (try arbiter1, star, ring, dijkstra)", system)
+	}
+}
+
+// systemPOROptions resolves -por for a system: the arbiter systems get
+// the semantic per-leaf rules and the mutual-exclusion visibility
+// predicate; everything else falls back to the conservative structural
+// analysis (sound for any closed system, rarely reducing).
+func systemPOROptions(system string, nUsers int) (reduce.Options, error) {
+	var tr *graph.Tree
+	var err error
+	switch system {
+	case "arbiter2", "arbiter3", "arbiter3r":
+		tr, err = graph.BinaryTree(nUsers)
+	case "star":
+		tr, err = graph.Star(nUsers)
+	default:
+		return reduce.Options{}, nil
+	}
+	if err != nil {
+		return reduce.Options{}, err
+	}
+	return reduce.Options{Rules: reduce.ArbiterRules(tr), Visible: reduce.HolderVisibility}, nil
+}
+
+// applyReduction resolves -symmetry and -por into the exploration
+// options. Both apply to -reach only: simulation follows one concrete
+// schedule, so there is nothing to quotient or prune. A system with
+// residual environment inputs (mutex's unpaired register invocations)
+// is wrapped in explore.ClosedWorld first — POR is only defined for
+// closed systems, and the wrapper's name suffix makes the changed
+// baseline visible in the -reach report. The returned automaton is
+// the one to explore.
+func applyReduction(cfg *config, auto ioa.Automaton) (ioa.Automaton, error) {
+	if !cfg.symmetry && !cfg.por {
+		return auto, nil
+	}
+	if !cfg.reach {
+		return nil, errors.New("-symmetry/-por apply to -reach (use -stabilize -symmetry for the certifier)")
+	}
+	if cfg.symmetry {
+		c, err := systemCanonicalizer(cfg.system, cfg.nUsers)
+		if err != nil {
+			return nil, err
+		}
+		cfg.explore.Canon = c
+	}
+	if cfg.por {
+		if auto.Sig().Inputs().Len() > 0 {
+			auto = explore.ClosedWorld(auto)
+		}
+		opts, err := systemPOROptions(cfg.system, cfg.nUsers)
+		if err != nil {
+			return nil, err
+		}
+		p, err := reduce.NewPOR(auto, opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg.explore.Ample = p
+	}
+	return auto, nil
+}
+
 // certifyRun certifies self-stabilization of the selected system and
 // prints the certificate. The dijkstra system is certified from its
 // full K^n corruption envelope; the ring system (LeLann) from the
@@ -194,7 +281,20 @@ func certifyRun(cfg config, prof faults.Profile, o *obs.Obs, out io.Writer) erro
 	if !prof.Zero() {
 		return errors.New("-stabilize certifies state corruption envelopes; channel -faults do not apply")
 	}
+	if cfg.por {
+		return errors.New("-por does not apply to -stabilize: convergence bounds need the full transition graph")
+	}
 	opts := stabilize.Options{Workers: cfg.explore.Workers, Limit: cfg.explore.Limit, Obs: o}
+	if cfg.symmetry {
+		if cfg.system != "dijkstra" {
+			return errors.New("-stabilize -symmetry is supported for the dijkstra system only")
+		}
+		c, err := reduce.NewDijkstraShift(cfg.nUsers)
+		if err != nil {
+			return err
+		}
+		opts.Canon = c
+	}
 	var (
 		auto  ioa.Automaton
 		legit func(ioa.State) bool
@@ -402,8 +502,17 @@ func buildSystem(name string, nUsers int, prof faults.Profile, faultSeed int64, 
 			comps = append(comps, d.MustBuild())
 		}
 		return ioa.Compose("mutex-closed", comps...)
-	case "arbiter2", "arbiter3", "arbiter3r":
-		tr, err := graph.BinaryTree(nUsers)
+	case "arbiter2", "arbiter3", "arbiter3r", "star":
+		// star is the level-3 distributed arbiter over graph.Star:
+		// all users on one process's neighbor circle, the maximally
+		// symmetric level-3 topology (see reduce.StarRotation).
+		var tr *graph.Tree
+		var err error
+		if name == "star" {
+			tr, err = graph.Star(nUsers)
+		} else {
+			tr, err = graph.BinaryTree(nUsers)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -473,7 +582,7 @@ func buildSystem(name string, nUsers int, prof faults.Profile, faultSeed int64, 
 		comps := append([]ioa.Automaton{arb}, users.Automata(users.HeavyLoad(names))...)
 		return ioa.Compose(name, comps...)
 	default:
-		return nil, fmt.Errorf("unknown system %q (try fig21, fig22, fig23c, arbiter1, arbiter2, arbiter3, arbiter3r, ring, mutex, dijkstra)", name)
+		return nil, fmt.Errorf("unknown system %q (try fig21, fig22, fig23c, arbiter1, arbiter2, arbiter3, arbiter3r, star, ring, mutex, dijkstra)", name)
 	}
 }
 

@@ -79,48 +79,73 @@ func ExploreSystem(level, n int) (ioa.Automaton, error) {
 		if err != nil {
 			return nil, err
 		}
-		var names []string
-		for _, u := range tr.NodesOf(graph.User) {
-			names = append(names, tr.Node(u).Name)
-		}
-		holder := tr.NodesOf(graph.Arbiter)[0]
-		var arb ioa.Automaton
-		if level == 2 {
-			a2, err := graphlevel.New(tr, tr.Neighbors(holder)[0], holder)
-			if err != nil {
-				return nil, err
-			}
-			arb, err = ioa.Rename(a2, graphlevel.F1(tr))
-			if err != nil {
-				return nil, err
-			}
-		} else {
-			aug, err := graph.Augment(tr)
-			if err != nil {
-				return nil, err
-			}
-			sys, err := dist.NewWithFaults(tr, holder, faults.Injection{})
-			if err != nil {
-				return nil, err
-			}
-			f2, err := sys.F2(aug)
-			if err != nil {
-				return nil, err
-			}
-			a3x, err := ioa.Rename(sys.A3, f2)
-			if err != nil {
-				return nil, err
-			}
-			arb, err = ioa.Rename(a3x, graphlevel.F1(aug))
-			if err != nil {
-				return nil, err
-			}
-		}
-		comps := append([]ioa.Automaton{arb}, users.Automata(users.HeavyLoad(names))...)
-		return ioa.Compose(fmt.Sprintf("arbiter%d", level), comps...)
+		return SystemOn(level, tr)
 	default:
 		return nil, fmt.Errorf("bench: no arbiter level %d", level)
 	}
+}
+
+// StarSystem builds the closed level-3 distributed arbiter over
+// graph.Star(n): a single process automaton with all n users on its
+// neighbor circle, composed with heavy-load users. This is the
+// maximally symmetric level-3 topology — rotating the users is an
+// automorphism of the whole algorithm (Figure 3.5's round-robin
+// sendgrant scan is rotation-invariant), so reduce.StarRotation
+// quotients its state space by exactly n.
+func StarSystem(n int) (ioa.Automaton, error) {
+	tr, err := graph.Star(n)
+	if err != nil {
+		return nil, err
+	}
+	return SystemOn(3, tr)
+}
+
+// SystemOn builds the closed arbiter system at level 2 or 3 over an
+// explicit tree topology, renamed to spec actions and composed with
+// heavy-load users.
+func SystemOn(level int, tr *graph.Tree) (ioa.Automaton, error) {
+	var names []string
+	for _, u := range tr.NodesOf(graph.User) {
+		names = append(names, tr.Node(u).Name)
+	}
+	holder := tr.NodesOf(graph.Arbiter)[0]
+	var arb ioa.Automaton
+	switch level {
+	case 2:
+		a2, err := graphlevel.New(tr, tr.Neighbors(holder)[0], holder)
+		if err != nil {
+			return nil, err
+		}
+		arb, err = ioa.Rename(a2, graphlevel.F1(tr))
+		if err != nil {
+			return nil, err
+		}
+	case 3:
+		aug, err := graph.Augment(tr)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := dist.NewWithFaults(tr, holder, faults.Injection{})
+		if err != nil {
+			return nil, err
+		}
+		f2, err := sys.F2(aug)
+		if err != nil {
+			return nil, err
+		}
+		a3x, err := ioa.Rename(sys.A3, f2)
+		if err != nil {
+			return nil, err
+		}
+		arb, err = ioa.Rename(a3x, graphlevel.F1(aug))
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("bench: no tree-level arbiter %d", level)
+	}
+	comps := append([]ioa.Automaton{arb}, users.Automata(users.HeavyLoad(names))...)
+	return ioa.Compose(fmt.Sprintf("arbiter%d", level), comps...)
 }
 
 // exploreMeasure times one exploration mode on freshly built systems,

@@ -63,6 +63,39 @@ type Options struct {
 	// Obs tracer clock, which itself defaults to testseed.Now; with Obs
 	// nil the engine reads no clock at all.
 	Now func() time.Time
+	// Canon, when non-nil, quotients the explored state space by a
+	// symmetry: the state store dedups canonical encodings, so one
+	// concrete representative per orbit is admitted — the first
+	// discovered sequentially, the least-keyed candidate of the
+	// earliest level in parallel. Results stay concrete states and
+	// witness traces stay genuine executions; invariant predicates
+	// must be orbit-invariant (the symmetry must be an automorphism of
+	// the automaton — see the reduce package, whose differential
+	// battery enforces both obligations).
+	Canon store.Canonicalizer
+	// Ample, when non-nil, enables partial-order reduction: each
+	// explorer goroutine mints one selector and filters every state's
+	// sorted enabled-action list through it before stepping. The
+	// selector sees a freshness oracle over the engine's store so it
+	// can enforce the BFS cycle proviso (reduce.NewPOR documents the
+	// ample conditions). Verdict-preserving for orbit/stutter-safe
+	// invariants and for deadlocks; the explored subset may differ
+	// between the sequential and parallel engines (live vs frozen
+	// store freshness), but each mode remains deterministic.
+	Ample Ampler
+}
+
+// An Ampler mints per-goroutine ample-set selectors for partial-order
+// reduction (implemented by reduce.POR). A selector receives the
+// current state, its sorted enabled actions, and a freshness oracle
+// reporting whether a state is already interned in the engine's
+// store; it returns the sub-slice of actions to expand — either the
+// input slice itself (full expansion) or an internal buffer that is
+// only valid until the selector's next call. Selectors must be
+// deterministic functions of (state, store contents); they are never
+// shared across goroutines.
+type Ampler interface {
+	NewSelector() func(s ioa.State, enabled []ioa.Action, seen func(ioa.State) bool) []ioa.Action
 }
 
 // workers resolves the worker count.
@@ -220,7 +253,25 @@ func (e *Engine) reachSeq(ctx context.Context, a ioa.Automaton) ([]ioa.State, er
 		defer o.Tracer.Span(0, "explore", "reach-seq "+a.Name())()
 	}
 	scratch := newActionScratch(a)
-	st := store.New(store.Options{})
+	st := store.New(store.Options{Canon: e.opts.Canon})
+	var sel func(ioa.State, []ioa.Action, func(ioa.State) bool) []ioa.Action
+	var seen func(ioa.State) bool
+	cursor := 0
+	if e.opts.Ample != nil {
+		sel = e.opts.Ample.NewSelector()
+		// The cycle-proviso oracle: a successor counts as seen when it
+		// has already been expanded or is the state being expanded now
+		// (IDs are dense admission order and states expand in ID
+		// order). Merely-discovered frontier states stay "fresh" — a
+		// reduced expansion may point at them freely, because on any
+		// cycle of the reduced graph the state expanded last finds its
+		// cycle successor already expanded and C3 forces it to expand
+		// fully, so nothing is postponed forever.
+		seen = func(t ioa.State) bool {
+			id, ok := st.Has(t)
+			return ok && int(id) <= cursor
+		}
+	}
 	var order []ioa.State
 	push := func(s ioa.State) {
 		if _, fresh := st.Intern(s); fresh {
@@ -251,7 +302,12 @@ func (e *Engine) reachSeq(ctx context.Context, a ioa.Automaton) ([]ioa.State, er
 			}
 		}
 		s := order[i]
-		for _, act := range scratch.step(a, s) {
+		acts := scratch.step(a, s)
+		if sel != nil {
+			cursor = i
+			acts = sel(s, acts, seen)
+		}
+		for _, act := range acts {
 			if !ioa.VisitNext(a, s, act, yield) {
 				storeGauges(o, st)
 				return order, errLimit(a, limit)
@@ -275,7 +331,19 @@ func (e *Engine) checkSeq(ctx context.Context, a ioa.Automaton, pred func(ioa.St
 		defer o.Tracer.Span(0, "explore", "check-seq "+a.Name())()
 	}
 	scratch := newActionScratch(a)
-	st := store.New(store.Options{})
+	st := store.New(store.Options{Canon: e.opts.Canon})
+	var sel func(ioa.State, []ioa.Action, func(ioa.State) bool) []ioa.Action
+	var seen func(ioa.State) bool
+	cursor := 0
+	if e.opts.Ample != nil {
+		sel = e.opts.Ample.NewSelector()
+		// Same expanded-or-current proviso oracle as reachSeq (node
+		// indices are interned IDs).
+		seen = func(t ioa.State) bool {
+			id, ok := st.Has(t)
+			return ok && int(id) <= cursor
+		}
+	}
 	type node struct {
 		state  ioa.State
 		parent int
@@ -324,7 +392,12 @@ func (e *Engine) checkSeq(ctx context.Context, a ioa.Automaton, pred func(ioa.St
 			return nil, errLimit(a, limit)
 		}
 		curParent = i
-		for _, act := range scratch.step(a, nodes[i].state) {
+		acts := scratch.step(a, nodes[i].state)
+		if sel != nil {
+			cursor = i
+			acts = sel(nodes[i].state, acts, seen)
+		}
+		for _, act := range acts {
 			curAct = act
 			ioa.VisitNext(a, nodes[i].state, act, yield)
 		}

@@ -17,9 +17,11 @@ import (
 // Flags holds the parsed exploration flag values registered by
 // BindFlags, pending resolution into Options.
 type Flags struct {
-	workers *int
-	limit   *int
-	dedup   *bool
+	workers  *int
+	limit    *int
+	dedup    *bool
+	symmetry *bool
+	por      *bool
 }
 
 // BindFlags registers the shared exploration flags (-workers, -limit,
@@ -27,9 +29,11 @@ type Flags struct {
 // fs.Parse.
 func BindFlags(fs *flag.FlagSet) *Flags {
 	return &Flags{
-		workers: fs.Int("workers", 0, "exploration worker goroutines (0 = GOMAXPROCS, 1 = sequential)"),
-		limit:   fs.Int("limit", DefaultLimit, "exploration state budget"),
-		dedup:   fs.Bool("dedup", false, "sender-side duplicate suppression in the parallel explorer"),
+		workers:  fs.Int("workers", 0, "exploration worker goroutines (0 = GOMAXPROCS, 1 = sequential)"),
+		limit:    fs.Int("limit", DefaultLimit, "exploration state budget"),
+		dedup:    fs.Bool("dedup", false, "sender-side duplicate suppression in the parallel explorer"),
+		symmetry: fs.Bool("symmetry", false, "quotient the state space by the system's symmetry group (systems with a registered canonicalizer)"),
+		por:      fs.Bool("por", false, "ample-set partial-order reduction (closed systems)"),
 	}
 }
 
@@ -52,3 +56,13 @@ func (f *Flags) Workers() int { return *f.workers }
 
 // Limit returns the parsed state budget.
 func (f *Flags) Limit() int { return *f.limit }
+
+// Symmetry reports whether -symmetry was requested. The canonicalizer
+// itself is system-specific, so the CLI resolves it and fills
+// Options.Canon (erroring on systems with no registered symmetry).
+func (f *Flags) Symmetry() bool { return *f.symmetry }
+
+// POR reports whether -por was requested; the CLI builds the
+// reduce.NewPOR analysis for the selected system and fills
+// Options.Ample.
+func (f *Flags) POR() bool { return *f.por }

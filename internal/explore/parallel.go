@@ -37,6 +37,20 @@ package explore
 // which the composition memo layer makes mostly cache hits; the
 // differential test battery checks the resulting state sets against
 // the sequential sweep on every seed.
+//
+// Reduction (Options.Canon / Options.Ample) preserves the argument.
+// Under a canonicalizer, membership and merge dedup run on canonical
+// bytes, so the set of orbits discovered at depth d is still a pure
+// function of the orbits at depths < d, and candLess picks a
+// scheduling-independent concrete representative per orbit. Under an
+// ample selector, each state's expanded action subset is a
+// deterministic function of (state, frozen store) — workers consult
+// nothing level-local — so the reduced frontier is as reproducible as
+// the full one. The sequential and parallel engines may explore
+// different (each sound, each deterministic) reduced subsets, because
+// the cycle proviso's freshness oracle is the live store in one and
+// the frozen previous-levels store in the other; the reduce package's
+// differential battery pins verdict equality across both.
 
 import (
 	"bytes"
@@ -71,11 +85,22 @@ type cand struct {
 	hash   uint64
 }
 
-// candLess orders candidate crumbs for the same state: least
-// (parent, act) wins, making witness traces deterministic. parent IDs
-// are comparable as keys because all candidates' parents sit in the
-// same (key-sorted-interned) level.
+// candLess orders candidate crumbs for the same stored state: least
+// (state key, parent, act) wins, making both the kept concrete
+// representative and its witness crumb deterministic. Without a
+// canonicalizer, merged candidates are byte-identical states, the key
+// comparison ties, and the rule degenerates to the seed's least
+// (parent, act); under symmetry quotienting, candidates in one merge
+// bucket are orbit-mates whose concrete states may differ, and the
+// least key picks the same representative regardless of worker
+// scheduling — with the crumb that actually produced that concrete
+// state, so witnesses remain genuine executions. parent IDs are
+// comparable as keys because all candidates' parents sit in the same
+// (key-sorted-interned) level.
 func candLess(a, b cand) bool {
+	if ak, bk := a.state.Key(), b.state.Key(); ak != bk {
+		return ak < bk
+	}
 	if a.parent != b.parent {
 		return a.parent < b.parent
 	}
@@ -111,7 +136,7 @@ func (e *Engine) parallelExplore(ctx context.Context, a ioa.Automaton, pred func
 		defer o.Tracer.Span(0, "explore", "explore "+a.Name())()
 	}
 	inputs := a.Sig().Inputs().Sorted()
-	gst := store.New(store.Options{})
+	gst := store.New(store.Options{Canon: e.opts.Canon})
 	var states []ioa.State // indexed by ID; also the returned order
 	var crumbs []crumb     // indexed by ID
 	probes := make([]*store.Probe, w)
@@ -159,7 +184,7 @@ func (e *Engine) parallelExplore(ctx context.Context, a ioa.Automaton, pred func
 				levelStart = e.opts.Now()
 			}
 		}
-		next := e.expandLevel(a, inputs, states, level, probes, depth, o)
+		next := e.expandLevel(a, gst, inputs, states, level, probes, depth, o)
 		if o != nil {
 			o.Explore.Levels.Add(1)
 			o.Explore.Frontier.Observe(int64(len(level)))
@@ -225,7 +250,7 @@ func (e *Engine) parallelExplore(ctx context.Context, a ioa.Automaton, pred func
 // through their per-worker probes; merge-time dedup runs one goroutine
 // per shard over hash-routed outboxes, comparing encodings byte-wise
 // against a per-shard scratch arena (hashes route, bytes decide).
-func (e *Engine) expandLevel(a ioa.Automaton, inputs []ioa.Action, states []ioa.State,
+func (e *Engine) expandLevel(a ioa.Automaton, gst *store.Store, inputs []ioa.Action, states []ioa.State,
 	level []store.ID, probes []*store.Probe, depth int, o *obs.Obs) []cand {
 	w := len(probes)
 	// outboxes[worker][shard] holds candidate crumbs.
@@ -251,6 +276,22 @@ func (e *Engine) expandLevel(a ioa.Automaton, inputs []ioa.Action, states []ioa.
 			var local *senderDedup
 			if e.opts.Dedup {
 				local = newSenderDedup()
+			}
+			// Ample selection runs per worker: the selector is a
+			// deterministic function of (state, frozen store), and it
+			// finishes before the successor yields start, so it may
+			// share the worker's probe as its freshness oracle. The
+			// frozen store holds every state of depth ≤ current, which
+			// is exactly what the BFS cycle proviso needs (a "fresh"
+			// successor is genuinely at depth+1, so postponement
+			// chains strictly increase depth and terminate).
+			var scratch *actionScratch
+			var sel func(ioa.State, []ioa.Action, func(ioa.State) bool) []ioa.Action
+			var seen func(ioa.State) bool
+			if e.opts.Ample != nil {
+				scratch = newActionScratch(a)
+				sel = e.opts.Ample.NewSelector()
+				seen = func(t ioa.State) bool { _, _, ok := probe.Lookup(t); return ok }
 			}
 			var curParent store.ID
 			var curAct ioa.Action
@@ -279,6 +320,15 @@ func (e *Engine) expandLevel(a ioa.Automaton, inputs []ioa.Action, states []ioa.
 				for _, id := range level[start:end] {
 					s := states[id]
 					curParent = id
+					if sel != nil {
+						// The selector needs the sorted merged list
+						// (seed order is part of its determinism).
+						for _, act := range sel(s, scratch.step(a, s), seen) {
+							curAct = act
+							ioa.VisitNext(a, s, act, yield)
+						}
+						continue
+					}
 					// Do not mutate the Enabled result: the memo layer
 					// may hand out a shared cached slice.
 					for _, act := range a.Enabled(s) {
@@ -317,7 +367,14 @@ func (e *Engine) expandLevel(a ioa.Automaton, inputs []ioa.Action, states []ioa.
 			var buf []byte
 			for wi := 0; wi < w; wi++ {
 				for _, c := range outboxes[wi][h] {
-					buf = ioa.AppendState(buf[:0], c.state)
+					// Dedup on canonical bytes: under symmetry
+					// quotienting, orbit-mates discovered by different
+					// workers must collapse here — the coordinator's
+					// intern loop assumes every merged candidate is
+					// fresh and distinct. (Probe.Bytes, the sender-side
+					// filter's encoding, is canonical for the same
+					// reason.)
+					buf = gst.AppendCanonical(buf[:0], c.state)
 					dup := false
 					for _, ci := range pending[c.hash] {
 						l := locs[ci]

@@ -37,14 +37,21 @@ func TestParallelCheckNilPred(t *testing.T) {
 }
 
 func TestCandLess(t *testing.T) {
-	a := cand{parent: 1, act: "x"}
-	b := cand{parent: 2, act: "a"}
+	s := ioa.KeyState("s")
+	a := cand{state: s, parent: 1, act: "x"}
+	b := cand{state: s, parent: 2, act: "a"}
 	if !candLess(a, b) || candLess(b, a) {
-		t.Error("parent ID must dominate")
+		t.Error("parent ID must dominate among equal-key states")
 	}
-	c := cand{parent: 1, act: "y"}
+	c := cand{state: s, parent: 1, act: "y"}
 	if !candLess(a, c) || candLess(c, a) {
 		t.Error("action breaks parent ties")
+	}
+	// Under a canonicalizer, merge buckets hold orbit-mates with
+	// distinct concrete keys: the least key wins regardless of crumb.
+	d := cand{state: ioa.KeyState("r"), parent: 9, act: "z"}
+	if !candLess(d, a) || candLess(a, d) {
+		t.Error("state key must dominate parent and action")
 	}
 }
 

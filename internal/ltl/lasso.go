@@ -45,10 +45,22 @@ type StateGraph struct {
 // edge order — and therefore every search over the graph — is
 // deterministic.
 func BuildGraph(ctx context.Context, a ioa.Automaton, states []ioa.State, allowed func(ioa.Action) bool) (*StateGraph, error) {
+	return BuildGraphCanon(ctx, a, states, allowed, nil)
+}
+
+// BuildGraphCanon is BuildGraph over a symmetry-quotiented state set:
+// states holds one concrete orbit representative each (an explorer
+// result under the same canonicalizer), and successor membership is
+// resolved canonically, so a step landing on any orbit-mate of a set
+// member produces an edge to that member's node. Without this, a
+// quotiented set would silently lose almost every edge — successors
+// are concrete states, and byte-exact lookup would miss their
+// representatives. canon nil is plain BuildGraph.
+func BuildGraphCanon(ctx context.Context, a ioa.Automaton, states []ioa.State, allowed func(ioa.Action) bool, canon store.Canonicalizer) (*StateGraph, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	index := store.New(store.Options{})
+	index := store.New(store.Options{Canon: canon})
 	for _, s := range states {
 		index.Intern(s)
 	}

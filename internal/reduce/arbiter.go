@@ -1,0 +1,239 @@
+package reduce
+
+// Semantic reduction rules for the distributed arbiter (§3.3): refined
+// per-leaf dependency and necessary-enabling sets for the process
+// automata A_a, the message system M, and the user automata. The
+// structural slot analysis treats each leaf as one dependency clique,
+// which on the arbiter collapses every stubborn set into the whole
+// action universe (each node's clique links its user interface to its
+// channel traffic, and closures chain across channels). The rules
+// below encode what the guards and effects of Figure 3.5/3.6 actually
+// read and write:
+//
+//   - receiverequest(v,a) writes only requesting[v]; it is independent
+//     of the node's other receives and of sendrequest (which it can
+//     enable but never disable, and whose written fields are
+//     disjoint). It conflicts with sendgrant, whose guard reads the
+//     requesting array and whose effect writes it.
+//   - receivegrant(v,a) reads lastForward and writes holding and
+//     requested, so it conflicts with every action except
+//     receiverequest.
+//   - sends read most of the node state and conflict with everything
+//     (except incoming requests, per the first rule).
+//   - a FIFO channel's send and receive commute whenever both are
+//     enabled (push appends at the tail, pop removes at the head) and
+//     neither ever disables the other, so same-channel send/receive
+//     pairs are independent; send/send ordering and head kinds make
+//     the remaining same-channel pairs dependent.
+//
+// The NES choices are per-state: for a disabled guard the rules pick
+// one false conjunct and return the actions able to flip it, preferring
+// conjuncts whose writers are the node's own sends (keeping closures
+// local) and singleton writer sets over whole-neighborhood ones. Any
+// false conjunct is a sound choice — every enabling sequence must flip
+// it — so the preference order only affects how much reduction
+// survives, never correctness. The differential battery double-checks
+// all of this against the unreduced oracle.
+
+import (
+	"strings"
+
+	"repro/internal/arbiter/dist"
+	"repro/internal/arbiter/users"
+	"repro/internal/graph"
+	"repro/internal/ioa"
+)
+
+// ArbiterRules builds the LeafRules map for a distributed arbiter
+// system over tree t (the original tree, not the buffer-augmented
+// one): entries for every process leaf "A_<node>", every user leaf
+// "U_<user>", and the message system under its FIFO names "M" and
+// "M-faulty" (the zero-injection faulty network used by the bench
+// systems; scheduled or lossy networks get no entry and fall back to
+// the conservative analysis).
+func ArbiterRules(t *graph.Tree) map[string]LeafRules {
+	rules := make(map[string]LeafRules)
+	for _, a := range t.NodesOf(graph.Arbiter) {
+		aName := t.Node(a).Name
+		var nb []string
+		for _, v := range t.Neighbors(a) {
+			nb = append(nb, t.Node(v).Name)
+		}
+		rules["A_"+aName] = LeafRules{
+			Dep: procDep,
+			NES: procNES(aName, nb),
+		}
+	}
+	for _, u := range t.NodesOf(graph.User) {
+		rules["U_"+t.Node(u).Name] = LeafRules{NES: userNES(t.Node(u).Name)}
+	}
+	m := LeafRules{Dep: channelDep, NES: channelNES}
+	rules["M"] = m
+	rules["M-faulty"] = m
+	return rules
+}
+
+// procDep is the refined dependency relation within one process leaf.
+func procDep(x, y ioa.Action) bool {
+	bx, by := x.Base(), y.Base()
+	if bx == "receiverequest" {
+		return by == "sendgrant"
+	}
+	if by == "receiverequest" {
+		return bx == "sendgrant"
+	}
+	// Receives of grants, and all sends, read or write overlapping
+	// node fields (holding, requested, lastForward, requesting).
+	return true
+}
+
+// procNES returns the per-state necessary-enabling-set chooser for
+// process a with ordered neighbor names nb (the order fixing the
+// requesting/lastForward indices of Figure 3.5).
+func procNES(a string, nb []string) func(la ioa.Action, ls ioa.State) []ioa.Action {
+	idx := make(map[string]int, len(nb))
+	for i, v := range nb {
+		idx[v] = i
+	}
+	sendGrants := make([]ioa.Action, len(nb))
+	recvGrants := make([]ioa.Action, len(nb))
+	recvRequests := make([]ioa.Action, len(nb))
+	for i, v := range nb {
+		sendGrants[i] = dist.SendGrant(a, v)
+		recvGrants[i] = dist.ReceiveGrant(v, a)
+		recvRequests[i] = dist.ReceiveRequest(v, a)
+	}
+	return func(la ioa.Action, ls ioa.State) []ioa.Action {
+		s, ok := ls.(*dist.ProcState)
+		if !ok {
+			return nil
+		}
+		params := la.Params()
+		if len(params) != 2 {
+			return nil
+		}
+		i, ok := idx[params[1]]
+		if !ok {
+			return nil
+		}
+		switch la.Base() {
+		case "sendrequest":
+			// Guard: anyRequesting && !requested && !holding &&
+			// lastForward == i. Prefer the conjuncts written by the
+			// node's own sends.
+			if s.Holding() {
+				return sendGrants
+			}
+			if s.LastForward() != i {
+				return sendGrants
+			}
+			if s.Requested() {
+				return recvGrants
+			}
+			return recvRequests
+		case "sendgrant":
+			// Guard: requesting[i] && holding && no requester strictly
+			// between lastForward and i in cyclic neighbor order.
+			if blockedByIntermediate(s, i, len(nb)) {
+				return sendGrants
+			}
+			if !s.Requesting(i) {
+				return recvRequests[i : i+1]
+			}
+			return recvGrants
+		}
+		// Receives are inputs here; their top-level enabledness is
+		// owned by the message system, so this is never reached for
+		// them. Fall back conservatively.
+		return nil
+	}
+}
+
+// blockedByIntermediate reports whether the sendgrant(a, nb[i]) guard
+// fails on its cyclic-order conjunct: some neighbor strictly between
+// lastForward and i is requesting.
+func blockedByIntermediate(s *dist.ProcState, i, deg int) bool {
+	for k := 1; k < deg; k++ {
+		y := (s.LastForward() + k) % deg
+		if y == i {
+			return false
+		}
+		if s.Requesting(y) {
+			return true
+		}
+	}
+	return false
+}
+
+// userNES chooses enabling sets for user automaton u (§3.1.2 cycle:
+// request is enabled when idle with rounds remaining, return when
+// holding).
+func userNES(u string) func(la ioa.Action, ls ioa.State) []ioa.Action {
+	grant := ioa.Act("grant", u)
+	ret := ioa.Act("return", u)
+	return func(la ioa.Action, ls ioa.State) []ioa.Action {
+		s, ok := ls.(*users.State)
+		if !ok {
+			return nil
+		}
+		switch la.Base() {
+		case "request":
+			if s.Remaining() == 0 {
+				// Out of rounds: nothing ever re-enables it.
+				return []ioa.Action{}
+			}
+			// Not idle: only completing the cycle gets it back there.
+			return []ioa.Action{ret}
+		case "return":
+			// Not holding: only a grant confers the resource.
+			return []ioa.Action{grant}
+		}
+		return nil
+	}
+}
+
+// channelDep is the refined dependency relation within the message
+// system: only same-channel pairs can interact, and a FIFO channel's
+// send and receive are independent of each other.
+func channelDep(x, y ioa.Action) bool {
+	px, py := x.Params(), y.Params()
+	if len(px) < 2 || len(py) < 2 || px[0] != py[0] || px[1] != py[1] {
+		return false
+	}
+	return strings.HasPrefix(x.Base(), "send") == strings.HasPrefix(y.Base(), "send")
+}
+
+// channelNES chooses enabling sets for a disabled delivery: with the
+// wrong kind at the head, only delivering that head can help; with an
+// empty channel, every enabling sequence must first send a message of
+// the delivery's kind.
+func channelNES(la ioa.Action, ls ioa.State) []ioa.Action {
+	ts, ok := ls.(dist.Transit)
+	if !ok {
+		return nil
+	}
+	params := la.Params()
+	if len(params) != 2 {
+		return nil
+	}
+	from, to := params[0], params[1]
+	var kind, other string
+	switch la.Base() {
+	case "receiverequest":
+		kind, other = dist.KindRequest, dist.KindGrant
+	case "receivegrant":
+		kind, other = dist.KindGrant, dist.KindRequest
+	default:
+		return nil // sends are inputs to M, owned by their process
+	}
+	if ts.HeadIs(from, to, other) {
+		if other == dist.KindRequest {
+			return []ioa.Action{dist.ReceiveRequest(from, to)}
+		}
+		return []ioa.Action{dist.ReceiveGrant(from, to)}
+	}
+	if kind == dist.KindRequest {
+		return []ioa.Action{dist.SendRequest(from, to)}
+	}
+	return []ioa.Action{dist.SendGrant(from, to)}
+}

@@ -1,0 +1,109 @@
+package reduce_test
+
+// Negative control for the C3 cycle proviso. The fixture composes two
+// leaves: X toggles forever between two states via an invisible
+// internal action, and Y takes a single visible step. Singleton {x} is
+// a perfectly stubborn, invisible ample set at every state, so a
+// selector without the proviso postpones y around X's cycle forever
+// and the reduced exploration terminates with half the state space.
+// The proviso breaks the cycle: when X's toggle closes back onto an
+// already-expanded state, C3 rejects the candidate and the state
+// expands fully, recovering every reachable state.
+//
+// TestProvisoRecoversCycle is the positive arm. TestNoProvisoMustFail
+// is the CI must-fail fixture: under REDUCE_NEGATIVE=1 it asserts the
+// wrong thing on purpose — that dropping the proviso still explores
+// everything — and the reduction CI job requires that run to fail.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/ioa"
+	"repro/internal/reduce"
+)
+
+// provisoFixture builds the closed two-leaf system: 2×2 = 4 reachable
+// states in full exploration.
+func provisoFixture(t *testing.T) ioa.Automaton {
+	t.Helper()
+	x := ioa.NewDef("X")
+	x.Start(ioa.KeyState("x0"))
+	x.Internal("x", "cx",
+		func(ioa.State) bool { return true },
+		func(s ioa.State) ioa.State {
+			if s.Key() == "x0" {
+				return ioa.KeyState("x1")
+			}
+			return ioa.KeyState("x0")
+		})
+	y := ioa.NewDef("Y")
+	y.Start(ioa.KeyState("y0"))
+	y.Output("y", "cy",
+		func(s ioa.State) bool { return s.Key() == "y0" },
+		func(ioa.State) ioa.State { return ioa.KeyState("y1") })
+	a, err := ioa.Compose("proviso-fixture", x.MustBuild(), y.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func provisoReach(t *testing.T, workers int, unsound bool) []ioa.State {
+	t.Helper()
+	a := provisoFixture(t)
+	p, err := reduce.NewPOR(a, reduce.Options{UnsoundNoProviso: unsound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := explore.New(explore.Options{Workers: workers, Ample: p})
+	states, err := eng.Reach(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return states
+}
+
+// TestProvisoRecoversCycle: with C3 the reduced exploration finds all
+// 4 states; without it the y step is postponed around X's cycle and
+// exactly the y0 slice survives. Both behaviors are deterministic
+// across worker counts.
+func TestProvisoRecoversCycle(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			if got := provisoReach(t, workers, false); len(got) != 4 {
+				t.Errorf("with proviso: %d states, want 4", len(got))
+			}
+			got := provisoReach(t, workers, true)
+			if len(got) >= 4 {
+				t.Errorf("UnsoundNoProviso lost nothing (%d states): fixture no longer exercises C3", len(got))
+			}
+			for _, s := range got {
+				ts, ok := s.(*ioa.TupleState)
+				if !ok || ts.Len() != 2 {
+					t.Fatalf("unexpected state shape %q", s.Key())
+				}
+				if ts.At(1).Key() != "y0" {
+					t.Errorf("unsound reach contains post-y state %q; expected y to be postponed forever", s.Key())
+				}
+			}
+		})
+	}
+}
+
+// TestNoProvisoMustFail is wired into CI inverted: the reduction job
+// runs it with REDUCE_NEGATIVE=1 and requires the test to FAIL,
+// proving the harness actually detects proviso violations rather than
+// vacuously passing. Without the env var it is skipped.
+func TestNoProvisoMustFail(t *testing.T) {
+	if os.Getenv("REDUCE_NEGATIVE") == "" {
+		t.Skip("negative arm; set REDUCE_NEGATIVE=1 (CI runs this expecting failure)")
+	}
+	got := provisoReach(t, 1, true)
+	if len(got) != 4 {
+		t.Fatalf("ample sets violating the cycle proviso lost states: %d reachable, want 4", len(got))
+	}
+}

@@ -71,11 +71,20 @@ type Options struct {
 	// envelope/closure gauges, the measured k, and the
 	// rounds-to-legitimacy histogram.
 	Obs *obs.Obs
+	// Canon, when non-nil, certifies over the symmetry quotient: the
+	// envelope, its closure, and the transition graph all dedup
+	// canonically, so EnvelopeStates/States count orbits. Requires the
+	// symmetry to be an automorphism and legit to be orbit-invariant;
+	// then the demonic rounds table over representatives equals the
+	// concrete one (an automorphism maps worst-case schedules to
+	// worst-case schedules), so K and Rounds are unchanged — the
+	// reduce package's property test pins this on Dijkstra's ring.
+	Canon store.Canonicalizer
 }
 
 // engine builds the explore engine the options describe.
 func (o Options) engine() *explore.Engine {
-	return explore.New(explore.Options{Workers: o.Workers, Limit: o.Limit, Obs: o.Obs})
+	return explore.New(explore.Options{Workers: o.Workers, Limit: o.Limit, Obs: o.Obs, Canon: o.Canon})
 }
 
 // A Step is one transition witness.
@@ -228,7 +237,7 @@ func Certify(ctx context.Context, a ioa.Automaton, legit func(ioa.State) bool, e
 	if len(envStates) == 0 {
 		return nil, fmt.Errorf("stabilize: envelope %q is empty", env.Name())
 	}
-	distinct := store.New(store.Options{})
+	distinct := store.New(store.Options{Canon: opts.Canon})
 	nEnv := 0
 	for _, s := range envStates {
 		if _, fresh := distinct.Intern(s); fresh {
@@ -245,7 +254,7 @@ func Certify(ctx context.Context, a ioa.Automaton, legit func(ioa.State) bool, e
 	if err != nil {
 		return nil, fmt.Errorf("stabilize: closing envelope %q: %w", env.Name(), err)
 	}
-	g, err := ltl.BuildGraph(ctx, w, states, nil)
+	g, err := ltl.BuildGraphCanon(ctx, w, states, nil, opts.Canon)
 	if err != nil {
 		return nil, err
 	}

@@ -44,11 +44,42 @@ const None ID = ^ID(0)
 // recopies its own shard) and keeps bucket chains short.
 const DefaultShards = 16
 
+// A Canonicalizer maps each state to the canonical representative of
+// its symmetry orbit, so that interning quotients the state space: two
+// states related by a symmetry of the automaton canonicalize to the
+// same representative, hash to the same FNV-64a value, and share one
+// dense ID.
+//
+// Contract: Canonical must be a pure function, idempotent
+// (Canonical(Canonical(s)) == Canonical(s)), orbit-invariant
+// (s ~ t implies Canonical(s).Key() == Canonical(t).Key()), and exact
+// (Canonical(s).Key() == Canonical(t).Key() only when s ~ t). The
+// symmetry itself must be an automorphism of the transition relation;
+// the reduce package provides checked implementations and the
+// differential battery there enforces the contract against the
+// unreduced oracle. Canonical must be safe for concurrent use: frozen
+// stores are probed from many goroutines.
+type Canonicalizer interface {
+	// Name identifies the symmetry (for certificates and bench rows).
+	Name() string
+	// Canonical returns the orbit representative of s. It must not
+	// retain or mutate s.
+	Canonical(s ioa.State) ioa.State
+}
+
 // Options parameterizes a Store.
 type Options struct {
 	// Shards is the arena/bucket shard count, rounded up to a power of
 	// two; 0 means DefaultShards.
 	Shards int
+	// Canon, when non-nil, canonicalizes every state before encoding
+	// and hashing, so the store dedups symmetry orbits instead of
+	// individual states. Callers still hand Intern concrete states and
+	// may keep them as orbit representatives; only the stored encoding
+	// is canonical. InternEncoded bypasses canonicalization and must be
+	// given canonical bytes (the parallel explorer's merge obtains them
+	// from AppendCanonical / Probe.Bytes).
+	Canon Canonicalizer
 }
 
 // loc records where one interned encoding lives: its shard and the
@@ -73,6 +104,7 @@ type Store struct {
 	mask    uint64
 	locs    []loc
 	scratch []byte
+	canon   Canonicalizer
 }
 
 // New builds an empty store.
@@ -86,11 +118,28 @@ func New(opts Options) *Store {
 	for p < n {
 		p <<= 1
 	}
-	st := &Store{shards: make([]shard, p), mask: uint64(p - 1)}
+	st := &Store{shards: make([]shard, p), mask: uint64(p - 1), canon: opts.Canon}
 	for i := range st.shards {
 		st.shards[i].table = make(map[uint64][]ID)
 	}
 	return st
+}
+
+// Canon returns the store's canonicalizer (nil without symmetry
+// reduction).
+func (st *Store) Canon() Canonicalizer { return st.canon }
+
+// AppendCanonical appends the canonical encoding of s to dst: the
+// encoding of Canon.Canonical(s) when a canonicalizer is set, s's own
+// encoding otherwise. This is the byte form Intern dedups on; the
+// parallel explorer's merge uses it so orbit-mates discovered by
+// different workers collapse before the barrier. The returned slice
+// follows the append contract and never aliases store-owned memory.
+func (st *Store) AppendCanonical(dst []byte, s ioa.State) []byte {
+	if st.canon != nil {
+		s = st.canon.Canonical(s)
+	}
+	return ioa.AppendState(dst, s)
 }
 
 // Hash is FNV-64a over b — the hash every store site uses, exported so
@@ -145,17 +194,21 @@ func (st *Store) Encoding(id ID) []byte {
 	return st.shards[l.shard].arena[l.off : l.off+l.n]
 }
 
-// Intern encodes s, deduplicates it against the store, and returns
-// its ID plus whether it was newly added. Single-writer: callers
-// serialize Intern against all other store calls.
+// Intern encodes s (canonicalizing first when Options.Canon is set),
+// deduplicates it against the store, and returns its ID plus whether
+// it was newly added. Single-writer: callers serialize Intern against
+// all other store calls.
 func (st *Store) Intern(s ioa.State) (ID, bool) {
-	st.scratch = ioa.AppendState(st.scratch[:0], s)
+	st.scratch = st.AppendCanonical(st.scratch[:0], s)
 	return st.InternEncoded(st.scratch, Hash(st.scratch))
 }
 
-// InternEncoded interns an already-encoded state given its Hash. The
-// bytes are copied into the shard arena, so enc may be reused by the
-// caller.
+// InternEncoded interns an already-encoded state given its Hash. Under
+// a canonicalizer the bytes must be canonical (AppendCanonical or
+// Probe.Bytes). The bytes are copied into the shard arena before
+// InternEncoded returns, so enc may be reused — or mutated — by the
+// caller immediately afterwards without disturbing the stored
+// encoding; the regression battery pins this no-aliasing contract.
 func (st *Store) InternEncoded(enc []byte, hash uint64) (ID, bool) {
 	sh := &st.shards[hash&st.mask]
 	for _, id := range sh.table[hash] {
@@ -171,11 +224,12 @@ func (st *Store) InternEncoded(enc []byte, hash uint64) (ID, bool) {
 	return id, true
 }
 
-// Has reports whether s is interned, and under which ID. It shares
-// the writer's scratch buffer, so it follows the single-writer rule;
-// concurrent readers use Probes instead.
+// Has reports whether s (canonicalized when Options.Canon is set) is
+// interned, and under which ID. It shares the writer's scratch buffer,
+// so it follows the single-writer rule; concurrent readers use Probes
+// instead.
 func (st *Store) Has(s ioa.State) (ID, bool) {
-	st.scratch = ioa.AppendState(st.scratch[:0], s)
+	st.scratch = st.AppendCanonical(st.scratch[:0], s)
 	return st.lookup(st.scratch, Hash(st.scratch))
 }
 
@@ -212,16 +266,20 @@ type Probe struct {
 func (st *Store) NewProbe() *Probe { return &Probe{st: st} }
 
 // Lookup reports whether s is interned, returning its ID, the FNV-64a
-// hash of its encoding (for reuse at the merge barrier), and the
-// membership verdict.
+// hash of its canonical encoding (for reuse at the merge barrier), and
+// the membership verdict. Under a canonicalizer the probe looks up the
+// orbit representative, so a hit means some orbit-mate of s was
+// interned.
 func (p *Probe) Lookup(s ioa.State) (ID, uint64, bool) {
-	p.buf = ioa.AppendState(p.buf[:0], s)
+	p.buf = p.st.AppendCanonical(p.buf[:0], s)
 	h := Hash(p.buf)
 	id, ok := p.st.lookup(p.buf, h)
 	return id, h, ok
 }
 
-// Bytes returns the encoding produced by the most recent Lookup. The
-// slice aliases the probe's buffer and is only valid until the next
-// Lookup on this probe.
+// Bytes returns the canonical encoding produced by the most recent
+// Lookup. The slice aliases the probe's buffer — never the caller's
+// input state or the store arenas — and is only valid until the next
+// Lookup on this probe; consumers that outlive that window (the
+// sender-side dedup filter, the merge arenas) copy it.
 func (p *Probe) Bytes() []byte { return p.buf }
