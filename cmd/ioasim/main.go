@@ -5,15 +5,30 @@
 //
 // Usage:
 //
-//	ioasim -system fig21|fig22|fig23c|arbiter1|arbiter2|arbiter3|arbiter3r|star|ring|mutex|dijkstra
+//	ioasim -system fig21|fig22|fig23c|arbiter1|arbiter2|arbiter3|arbiter3r|star|ring|mutex|dijkstra|lamport
 //	       [-steps n] [-policy rr|random] [-seed n] [-users n]
 //	       [-faults drop=0.1,dup=0.05,delay=3] [-fault-seed n]
-//	       [-trace] [-json] [-dot] [-reach] [-stabilize]
+//	       [-trace] [-json] [-dot] [-reach] [-stabilize] [-induct]
 //	       [-workers n] [-limit n] [-dedup]
 //	       [-obs-addr host:port] [-trace-out file] [-metrics-out file]
 //
 // The -reach flag explores the system's reachable state space instead
 // of simulating it, reporting the state count and deadlocks.
+//
+// The -induct flag certifies the system's safety invariant by one-step
+// induction instead of exploring: every start state must satisfy the
+// invariant, and every transition from an invariant state of the
+// candidate domain must land back in it. The domain is streamed, so
+// certification runs in O(1) resident memory over complete
+// combinatorial spaces far beyond any reachability frontier — the
+// lamport system (Lamport's bounded-clock mutual-exclusion algorithm,
+// -users processes, clocks to 2, unit channels) certifies mutual
+// exclusion over 518,400 candidate states at -users 2 against a
+// reachable set of a few dozen. On failure the counterexample to
+// induction (pre-state, action, post-state, first violated conjunct)
+// is printed and the process exits non-zero, so CI can assert both
+// directions. Supported systems: arbiter1, dijkstra, ring, mutex,
+// lamport.
 //
 // The -stabilize flag runs the self-stabilization certifier instead of
 // simulating: it checks closure (the legitimate-state set is invariant
@@ -71,10 +86,13 @@ import (
 	"repro/internal/arbiter/graphlevel"
 	"repro/internal/arbiter/spec"
 	"repro/internal/arbiter/users"
+	"repro/internal/bench"
+	"repro/internal/domain"
 	"repro/internal/explore"
 	"repro/internal/faults"
 	"repro/internal/figures"
 	"repro/internal/graph"
+	"repro/internal/induct"
 	"repro/internal/ioa"
 	"repro/internal/mutex"
 	"repro/internal/obs"
@@ -100,6 +118,7 @@ type config struct {
 	faultSd   int64
 	reach     bool
 	stabilize bool
+	induct    bool
 	symmetry  bool
 	por       bool
 	explore   explore.Options
@@ -125,6 +144,7 @@ func main() {
 	flag.Int64Var(&cfg.faultSd, "fault-seed", 1, "seed for the deterministic fault schedule")
 	flag.BoolVar(&cfg.reach, "reach", false, "explore the reachable state space instead of simulating")
 	flag.BoolVar(&cfg.stabilize, "stabilize", false, "certify self-stabilization instead of simulating (dijkstra/ring); exits non-zero when not stabilizing")
+	flag.BoolVar(&cfg.induct, "induct", false, "certify the safety invariant by one-step induction (arbiter1/dijkstra/ring/mutex/lamport); exits non-zero on a CTI")
 	ex := explore.BindFlags(flag.CommandLine)
 	flag.StringVar(&cfg.obsAddr, "obs-addr", "", "serve live expvar + pprof debug endpoints on this address (e.g. :6060)")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write a Chrome trace_event JSON file to this path")
@@ -166,6 +186,8 @@ func run(cfg config, out io.Writer) error {
 
 	if cfg.stabilize {
 		err = certifyRun(cfg, prof, o, out)
+	} else if cfg.induct {
+		err = inductRun(cfg, prof, o, out)
 	} else {
 		var auto ioa.Automaton
 		auto, err = buildSystem(cfg.system, cfg.nUsers, prof, cfg.faultSd, o)
@@ -307,7 +329,7 @@ func certifyRun(cfg config, prof faults.Profile, o *obs.Obs, out io.Writer) erro
 			return err
 		}
 		auto, legit = r.Auto, r.Legit
-		env = stabilize.Explicit("all-corruptions", r.AllStates())
+		env = r.StateDomain()
 	case "ring":
 		sys, err := ring.New(spec.DefaultUsers(cfg.nUsers))
 		if err != nil {
@@ -326,7 +348,8 @@ func certifyRun(cfg config, prof faults.Profile, o *obs.Obs, out io.Writer) erro
 		}
 		auto = sys.Composite
 		legit = func(s ioa.State) bool { return sys.TokenCount(s) == 1 }
-		env = stabilize.Reachable("crash(reset)", crashed, stabilize.TupleMap(stabilize.CrashInner), opts)
+		env = domain.Reachable("crash(reset)", crashed, domain.TupleMap(domain.CrashInner),
+			explore.Options{Workers: opts.Workers, Limit: opts.Limit})
 	default:
 		return fmt.Errorf("-stabilize applies to dijkstra and ring, not %q", cfg.system)
 	}
@@ -340,6 +363,54 @@ func certifyRun(cfg config, prof faults.Profile, o *obs.Obs, out io.Writer) erro
 	fmt.Fprintln(out, cert)
 	if !cert.Stabilizing() {
 		return fmt.Errorf("%s is not self-stabilizing under envelope %q", cert.Automaton, cert.Envelope)
+	}
+	return nil
+}
+
+// inductRun certifies the selected system's safety invariant by
+// one-step induction over its candidate domain and prints the
+// certificate. A counterexample to induction is an error, so the
+// process exits non-zero — the negative direction CI asserts with a
+// deliberately weakened conjunction lives in the bench battery.
+func inductRun(cfg config, prof faults.Profile, o *obs.Obs, out io.Writer) error {
+	if !prof.Zero() {
+		return errors.New("-induct certifies the fault-free systems; channel -faults do not apply")
+	}
+	if cfg.symmetry || cfg.por {
+		return errors.New("-symmetry/-por apply to -reach: induction walks the candidate domain, not the transition graph")
+	}
+	var (
+		sys bench.InductSystem
+		err error
+	)
+	switch cfg.system {
+	case "arbiter1":
+		sys, err = bench.InductArbiter1(cfg.nUsers)
+	case "dijkstra":
+		sys, err = bench.InductDijkstra(cfg.nUsers, cfg.nUsers)
+	case "ring":
+		sys, err = bench.InductRing(cfg.nUsers)
+	case "mutex":
+		sys, err = bench.InductBurns(explore.Options{Workers: cfg.explore.Workers, Limit: cfg.explore.Limit})
+	case "lamport":
+		sys, err = bench.InductLamport(cfg.nUsers, 2, 1)
+	default:
+		return fmt.Errorf("-induct applies to arbiter1, dijkstra, ring, mutex, and lamport, not %q", cfg.system)
+	}
+	if err != nil {
+		return err
+	}
+	if o != nil {
+		ioa.SetObsDeep(sys.Auto, o)
+	}
+	cert, err := induct.Check(context.Background(), sys.Auto, sys.Dom, sys.Inv, induct.Options{Obs: o})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, cert)
+	if cert.CTI != nil {
+		fmt.Fprintln(out, cert.CTI)
+		return fmt.Errorf("%s is not inductive for %s over domain %q", cert.Invariant, cert.Automaton, cert.Domain)
 	}
 	return nil
 }
@@ -480,6 +551,12 @@ func buildSystem(name string, nUsers int, prof faults.Profile, faultSeed int64, 
 			return nil, err
 		}
 		return r.Auto, nil
+	case "lamport":
+		l, err := mutex.NewLamport(nUsers, 2, 1)
+		if err != nil {
+			return nil, err
+		}
+		return l.Auto, nil
 	case "mutex":
 		sys, err := mutex.New()
 		if err != nil {
@@ -582,7 +659,7 @@ func buildSystem(name string, nUsers int, prof faults.Profile, faultSeed int64, 
 		comps := append([]ioa.Automaton{arb}, users.Automata(users.HeavyLoad(names))...)
 		return ioa.Compose(name, comps...)
 	default:
-		return nil, fmt.Errorf("unknown system %q (try fig21, fig22, fig23c, arbiter1, arbiter2, arbiter3, arbiter3r, star, ring, mutex, dijkstra)", name)
+		return nil, fmt.Errorf("unknown system %q (try fig21, fig22, fig23c, arbiter1, arbiter2, arbiter3, arbiter3r, star, ring, mutex, dijkstra, lamport)", name)
 	}
 }
 

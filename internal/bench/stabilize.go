@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/arbiter/spec"
+	"repro/internal/domain"
 	"repro/internal/explore"
 	"repro/internal/faults"
 	"repro/internal/ioa"
@@ -103,7 +104,7 @@ func stabilizeCell(cfg StabilizeConfig, row StabilizeRow, build func() (ioa.Auto
 	return row, nil
 }
 
-// spotEnvelope enumerates every single-coordinate corruption of every
+// spotEnvelope streams every single-coordinate corruption of every
 // state the ring reaches from its legitimate start — the transient
 // bit-flip envelope, much smaller than the full K^n one. Certify
 // deduplicates, so the uncorrupted states it also yields are harmless.
@@ -114,21 +115,22 @@ type spotEnvelope struct {
 
 func (e spotEnvelope) Name() string { return "single-corruption" }
 
-func (e spotEnvelope) States(ctx context.Context) ([]ioa.State, error) {
+func (e spotEnvelope) Visit(ctx context.Context, visit func(ioa.State) error) error {
 	reached, err := e.eng.Reach(ctx, e.r.Auto)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	var out []ioa.State
 	for _, st := range reached {
 		s := st.(*ring.DijkstraState)
 		for i := 0; i < e.r.N; i++ {
 			for v := 0; v < e.r.K; v++ {
-				out = append(out, s.With(i, v))
+				if err := visit(s.With(i, v)); err != nil {
+					return err
+				}
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // StabilizeSweep certifies Dijkstra rings over the configured sizes —
@@ -153,7 +155,7 @@ func StabilizeSweep(cfg StabilizeConfig) ([]StabilizeRow, error) {
 			name     string
 		}{
 			{n, func(r *ring.DijkstraRing) stabilize.Envelope {
-				return stabilize.Explicit("all-corruptions", r.AllStates())
+				return r.StateDomain()
 			}, "all-corruptions"},
 			{n, func(r *ring.DijkstraRing) stabilize.Envelope {
 				return spotEnvelope{r: r, eng: eng}
@@ -165,7 +167,7 @@ func StabilizeSweep(cfg StabilizeConfig) ([]StabilizeRow, error) {
 				envelope func(r *ring.DijkstraRing) stabilize.Envelope
 				name     string
 			}{n - 2, func(r *ring.DijkstraRing) stabilize.Envelope {
-				return stabilize.Explicit("all-corruptions", r.AllStates())
+				return r.StateDomain()
 			}, "all-corruptions"})
 		}
 		for _, cell := range cells {
@@ -218,7 +220,8 @@ func lelannCrashCell(opts stabilize.Options) (ioa.Automaton, func(ioa.State) boo
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	env := stabilize.Reachable("crash(reset)", crashed, stabilize.TupleMap(stabilize.CrashInner), opts)
+	env := domain.Reachable("crash(reset)", crashed, domain.TupleMap(domain.CrashInner),
+		explore.Options{Workers: opts.Workers, Limit: opts.Limit})
 	legit := func(s ioa.State) bool { return sys.TokenCount(s) == 1 }
 	return sys.Composite, legit, env, nil
 }

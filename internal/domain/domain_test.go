@@ -1,0 +1,181 @@
+package domain_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	. "repro/internal/domain"
+	"repro/internal/explore"
+	"repro/internal/ioa"
+	"repro/internal/ring"
+)
+
+func keys(t *testing.T, d Domain) []string {
+	t.Helper()
+	states, err := Collect(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(states))
+	for i, s := range states {
+		out[i] = s.Key()
+	}
+	return out
+}
+
+func TestExplicit(t *testing.T) {
+	d := Explicit("abc", []ioa.State{ioa.KeyState("a"), ioa.KeyState("b")})
+	got := keys(t, d)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("keys = %v", got)
+	}
+	c := d.(Container)
+	if !c.Contains(ioa.KeyState("a")) || c.Contains(ioa.KeyState("z")) {
+		t.Fatal("Contains wrong")
+	}
+	if Size(d) != 2 {
+		t.Fatalf("Size = %d", Size(d))
+	}
+}
+
+func TestTuple(t *testing.T) {
+	parts := [][]ioa.State{
+		{ioa.KeyState("a"), ioa.KeyState("b")},
+		{ioa.KeyState("x"), ioa.KeyState("y"), ioa.KeyState("z")},
+	}
+	d := Tuple("prod", parts)
+	got := keys(t, d)
+	if len(got) != 6 {
+		t.Fatalf("want 6 tuples, got %d", len(got))
+	}
+	// Odometer order, rightmost fastest.
+	first := ioa.NewTupleState([]ioa.State{ioa.KeyState("a"), ioa.KeyState("x")})
+	if got[0] != first.Key() {
+		t.Fatalf("first = %q, want %q", got[0], first.Key())
+	}
+	c := d.(Container)
+	if !c.Contains(first) {
+		t.Fatal("Contains(first) = false")
+	}
+	bad := ioa.NewTupleState([]ioa.State{ioa.KeyState("a"), ioa.KeyState("q")})
+	if c.Contains(bad) {
+		t.Fatal("Contains(bad) = true")
+	}
+	if Size(d) != 6 {
+		t.Fatalf("Size = %d", Size(d))
+	}
+}
+
+func TestTupleEmptyFactor(t *testing.T) {
+	d := Tuple("empty", [][]ioa.State{{ioa.KeyState("a")}, nil})
+	if got := keys(t, d); len(got) != 0 {
+		t.Fatalf("want empty product, got %v", got)
+	}
+}
+
+func TestProduct(t *testing.T) {
+	build := func(digits []int) ioa.State { return ring.NewDijkstraState(digits) }
+	contains := func(ioa.State) bool { return true }
+	d, err := Product("p", []int{2, 3}, build, contains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := keys(t, d)
+	if len(got) != 6 || got[0] != "0.0" || got[1] != "0.1" || got[5] != "1.2" {
+		t.Fatalf("keys = %v", got)
+	}
+	if Size(d) != 6 {
+		t.Fatalf("Size = %d", Size(d))
+	}
+	if _, err := Product("bad", nil, build, contains); err == nil {
+		t.Fatal("want error for empty cardinality")
+	}
+	if _, err := Product("bad", []int{2, 0}, build, contains); err == nil {
+		t.Fatal("want error for zero cardinality")
+	}
+	if _, err := Product("bad", []int{2}, nil, contains); err == nil {
+		t.Fatal("want error for nil build")
+	}
+	if _, err := Product("bad", []int{2}, build, nil); err == nil {
+		t.Fatal("want error for nil contains")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := Explicit("a", []ioa.State{ioa.KeyState("a")})
+	b := Explicit("b", []ioa.State{ioa.KeyState("b")})
+	u := Union("u", a, b)
+	if got := keys(t, u); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("keys = %v", got)
+	}
+	c, ok := u.(Container)
+	if !ok {
+		t.Fatal("union of contained parts should have Contains")
+	}
+	if !c.Contains(ioa.KeyState("b")) || c.Contains(ioa.KeyState("z")) {
+		t.Fatal("Contains wrong")
+	}
+	// A part without Contains strips the union's.
+	u2 := Union("u2", a, bare{b})
+	if _, ok := u2.(Container); ok {
+		t.Fatal("union with a bare part must not claim Contains")
+	}
+}
+
+type bare struct{ d Domain }
+
+func (b bare) Name() string { return b.d.Name() }
+func (b bare) Visit(ctx context.Context, visit func(ioa.State) error) error {
+	return b.d.Visit(ctx, visit)
+}
+
+func TestVisitStops(t *testing.T) {
+	d := Explicit("abc", []ioa.State{ioa.KeyState("a"), ioa.KeyState("b")})
+	sentinel := errors.New("stop")
+	n := 0
+	err := d.Visit(context.Background(), func(ioa.State) error { n++; return sentinel })
+	if !errors.Is(err, sentinel) || n != 1 {
+		t.Fatalf("err = %v after %d visits", err, n)
+	}
+}
+
+func TestProductContextCancel(t *testing.T) {
+	d, err := Product("big", []int{100, 100, 100},
+		func(digits []int) ioa.State { return ring.NewDijkstraState(digits) },
+		func(ioa.State) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := d.Visit(ctx, func(ioa.State) error { return nil }); err == nil {
+		t.Fatal("want context error")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	r, err := ring.NewDijkstra(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Reachable("reach", r.Auto, nil, explore.Options{})
+	got := keys(t, d)
+	if len(got) == 0 {
+		t.Fatal("no states")
+	}
+	seen := map[string]bool{}
+	for _, k := range got {
+		if seen[k] {
+			t.Fatalf("duplicate %q", k)
+		}
+		seen[k] = true
+	}
+	c := d.(Container)
+	if !c.Contains(ring.NewDijkstraState([]int{0, 0, 0})) {
+		t.Fatal("start not contained")
+	}
+	if Size(d) != -1 {
+		t.Fatalf("Size of reachable should be unknown (-1), got %d", Size(d))
+	}
+}

@@ -1,0 +1,231 @@
+package induct
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/ioa"
+	"repro/internal/lattice"
+	"repro/internal/obs"
+	"repro/internal/reduce"
+)
+
+// val reads a decimal KeyState.
+func val(s ioa.State) int {
+	n, _ := strconv.Atoi(string(s.(ioa.KeyState)))
+	return n
+}
+
+func ks(n int) ioa.KeyState { return ioa.KeyState(strconv.Itoa(n)) }
+
+// counter builds an automaton over KeyState decimals: start at 0,
+// action inc moves v to v+1 while pre(v) holds.
+func counter(t *testing.T, pre func(int) bool) ioa.Automaton {
+	t.Helper()
+	d := ioa.NewDef("counter")
+	d.Start(ks(0))
+	d.Internal(ioa.Act("inc"), "c",
+		func(s ioa.State) bool { return pre(val(s)) },
+		func(s ioa.State) ioa.State { return ks(val(s) + 1) })
+	return d.MustBuild()
+}
+
+func explicitRange(lo, hi int) domain.Domain {
+	var states []ioa.State
+	for v := lo; v <= hi; v++ {
+		states = append(states, ks(v))
+	}
+	return domain.Explicit("range", states)
+}
+
+func leq(bound int) lattice.Lemma {
+	return lattice.L("leq"+strconv.Itoa(bound), func(s ioa.State) bool { return val(s) <= bound })
+}
+
+func neq(v int) lattice.Lemma {
+	return lattice.L("neq"+strconv.Itoa(v), func(s ioa.State) bool { return val(s) != v })
+}
+
+func TestCheckInductive(t *testing.T) {
+	// inc stops at 4, so v <= 5 is inductive over 0..9: candidates
+	// 0..5, and 5's only outgoing step would need pre(5) which fails.
+	a := counter(t, func(v int) bool { return v < 5 })
+	inv := lattice.Conj("Inv", leq(5))
+	cert, err := Check(context.Background(), a, explicitRange(0, 9), inv, Options{Obs: obs.New(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Inductive || cert.CTI != nil {
+		t.Fatalf("want inductive, got %s", cert)
+	}
+	if !cert.AdequacyChecked {
+		t.Fatal("Explicit domain has Contains; adequacy should be checked")
+	}
+	if cert.DomainStates != 10 || cert.Candidates != 6 || cert.Transitions != 5 {
+		t.Fatalf("counts off: %+v", cert)
+	}
+	if len(cert.Obligations) != 1 || cert.Obligations[0].Discharged != 5 {
+		t.Fatalf("obligations off: %+v", cert.Obligations)
+	}
+}
+
+func TestCheckBaseCTI(t *testing.T) {
+	a := counter(t, func(v int) bool { return v < 5 })
+	inv := lattice.Conj("Inv", neq(0))
+	cert, err := Check(context.Background(), a, explicitRange(0, 9), inv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Inductive || cert.CTI == nil || cert.CTI.Kind != KindBase {
+		t.Fatalf("want base CTI, got %s", cert)
+	}
+	if cert.CTI.Conjunct != "neq0" || cert.CTI.From.Key() != "0" {
+		t.Fatalf("wrong CTI: %s", cert.CTI)
+	}
+}
+
+func TestCheckStepCTI(t *testing.T) {
+	// v <= 1 is a true invariant (only 0 is reachable: pre requires
+	// v == 1) but not inductive: candidate 1 steps to 2.
+	a := counter(t, func(v int) bool { return v == 1 })
+	inv := lattice.Conj("Inv", leq(1))
+	cert, err := Check(context.Background(), a, explicitRange(0, 9), inv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cti := cert.CTI
+	if cert.Inductive || cti == nil || cti.Kind != KindStep {
+		t.Fatalf("want step CTI, got %s", cert)
+	}
+	if cti.From.Key() != "1" || cti.To.Key() != "2" || cti.Conjunct != "leq1" {
+		t.Fatalf("wrong CTI: %s", cti)
+	}
+	// The CTI is a legal one-step execution from an unreachable state.
+	if cti.Trace.Len() != 1 {
+		t.Fatalf("trace length %d, want 1", cti.Trace.Len())
+	}
+	if err := reduce.ReplayTrace(a, cti.Trace); err != nil {
+		t.Fatalf("CTI trace does not replay: %v", err)
+	}
+}
+
+func TestCheckEscapeCTI(t *testing.T) {
+	a := counter(t, func(v int) bool { return v < 5 })
+	inv := lattice.Conj("Inv", leq(9))
+	cert, err := Check(context.Background(), a, explicitRange(0, 2), inv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.CTI == nil || cert.CTI.Kind != KindEscape {
+		t.Fatalf("want escape CTI (2 steps to 3, outside 0..2), got %s", cert)
+	}
+	if cert.CTI.From.Key() != "2" || cert.CTI.To.Key() != "3" {
+		t.Fatalf("wrong CTI: %s", cert.CTI)
+	}
+}
+
+// bareDomain strips Contains to exercise the adequacy-unchecked path.
+type bareDomain struct{ d domain.Domain }
+
+func (b bareDomain) Name() string { return b.d.Name() }
+func (b bareDomain) Visit(ctx context.Context, visit func(ioa.State) error) error {
+	return b.d.Visit(ctx, visit)
+}
+
+func TestCheckAdequacyUnchecked(t *testing.T) {
+	a := counter(t, func(v int) bool { return v < 5 })
+	inv := lattice.Conj("Inv", leq(9))
+	// Without Contains, 2 --inc--> 3 cannot be flagged as an escape:
+	// the run certifies relative to the caller's adequacy obligation.
+	cert, err := Check(context.Background(), a, bareDomain{explicitRange(0, 2)}, inv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Inductive || cert.AdequacyChecked {
+		t.Fatalf("want inductive with adequacy unchecked, got %s", cert)
+	}
+}
+
+func TestCheckSelfLoops(t *testing.T) {
+	d := ioa.NewDef("loop")
+	d.Start(ks(0))
+	d.Internal(ioa.Act("stay"), "c",
+		func(ioa.State) bool { return true },
+		func(s ioa.State) ioa.State { return s })
+	a := d.MustBuild()
+	inv := lattice.Conj("Inv", leq(9))
+	cert, err := Check(context.Background(), a, explicitRange(0, 3), inv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Inductive || cert.SelfLoops != 4 {
+		t.Fatalf("want 4 self-loops, got %+v", cert)
+	}
+}
+
+func TestCheckContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := counter(t, func(v int) bool { return v < 5 })
+	_, err := Check(ctx, a, explicitRange(0, 9), lattice.Conj("Inv", leq(5)), Options{})
+	if err == nil {
+		t.Fatal("want context error")
+	}
+}
+
+func TestStrengthenCloses(t *testing.T) {
+	// leq1 needs neq1 conjoined: the CTI from state 1 selects it.
+	a := counter(t, func(v int) bool { return v == 1 })
+	base := lattice.Conj("Inv", leq(1))
+	res, err := Strengthen(context.Background(), a, explicitRange(0, 9), base,
+		[]lattice.Lemma{neq(7), neq(1)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certificate.Inductive {
+		t.Fatalf("want closed, got %s", res)
+	}
+	if len(res.Rounds) != 1 || res.Rounds[0].Lemma != "neq1" {
+		t.Fatalf("want one round conjoining neq1 (neq7 does not refute the CTI), got %s", res)
+	}
+	if !res.Final.Has("neq1") || res.Final.Has("neq7") {
+		t.Fatalf("final conjunction wrong: %s", res.Final)
+	}
+}
+
+func TestStrengthenStuck(t *testing.T) {
+	a := counter(t, func(v int) bool { return v == 1 })
+	base := lattice.Conj("Inv", leq(1))
+	res, err := Strengthen(context.Background(), a, explicitRange(0, 9), base,
+		[]lattice.Lemma{neq(7)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certificate.Inductive {
+		t.Fatalf("should not certify: %s", res)
+	}
+	if len(res.Rounds) != 1 || res.Rounds[0].Lemma != "" {
+		t.Fatalf("want one stuck round, got %s", res)
+	}
+}
+
+func TestCheckMetrics(t *testing.T) {
+	o := obs.New(nil)
+	a := counter(t, func(v int) bool { return v < 5 })
+	_, err := Check(context.Background(), a, explicitRange(0, 9), lattice.Conj("Inv", leq(5)), Options{Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Reg.Snapshot()
+	if snap.Counters["induct.runs"] != 1 {
+		t.Fatalf("induct.runs = %v", snap.Counters["induct.runs"])
+	}
+	if snap.Gauges["induct.domain_states"] != 10 {
+		t.Fatalf("induct.domain_states = %v", snap.Gauges["induct.domain_states"])
+	}
+	if snap.Counters["induct.obligations.leq5"] != 5 {
+		t.Fatalf("induct.obligations.leq5 = %v", snap.Counters["induct.obligations.leq5"])
+	}
+}

@@ -1,0 +1,105 @@
+package induct
+
+// The strengthening loop: a true invariant need not be inductive, and
+// the CTI a failed run reports names exactly the hole — a state the
+// invariant admits but the protocol never reaches, from which one
+// step breaks a conjunct. Strengthen closes holes from a library of
+// named lemmas: each round certifies the current conjunction, and on
+// a step CTI conjoins the first library lemma that refutes the CTI's
+// pre-state (the lemma is evidence the pre-state is unreachable).
+// Progress is by conjunction growth — each round either certifies,
+// fails permanently, or adds a lemma — so the loop runs at most
+// len(library)+1 rounds. If some subset of the library completes the
+// invariant, the loop finds a sufficient one: a CTI of the current
+// conjunction is a state every current conjunct admits, so only a
+// missing lemma can refute it.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/domain"
+	"repro/internal/ioa"
+	"repro/internal/lattice"
+)
+
+// A Round records one strengthening step: the CTI that drove it and
+// the lemma conjoined in response.
+type Round struct {
+	// CTI is the counterexample the round's certification attempt
+	// produced.
+	CTI *CTI
+	// Lemma names the library lemma conjoined ("" when no lemma
+	// refuted the CTI and the loop gave up).
+	Lemma string
+}
+
+// A StrengthenResult is the outcome of the strengthening loop.
+type StrengthenResult struct {
+	// Certificate is the final run's certificate; Certificate.Inductive
+	// reports overall success.
+	Certificate Certificate
+	// Final is the conjunction the final run certified (the original
+	// base plus every conjoined lemma).
+	Final *lattice.Conjunction
+	// Rounds records the strengthening steps, in order.
+	Rounds []Round
+}
+
+// Strengthen certifies base over dom, conjoining lemmas from library
+// in response to CTIs until the conjunction is inductive or no
+// library lemma refutes the current CTI. Base-case and escape CTIs
+// stop the loop immediately: no strengthening fixes a violated start
+// or an inadequate domain.
+func Strengthen(ctx context.Context, a ioa.Automaton, dom domain.Domain, base *lattice.Conjunction, library []lattice.Lemma, opts Options) (StrengthenResult, error) {
+	res := StrengthenResult{Final: base}
+	for {
+		cert, err := Check(ctx, a, dom, res.Final, opts)
+		res.Certificate = cert
+		if err != nil {
+			return res, err
+		}
+		if cert.Inductive {
+			return res, nil
+		}
+		cti := cert.CTI
+		if cti.Kind != KindStep {
+			res.Rounds = append(res.Rounds, Round{CTI: cti})
+			return res, nil
+		}
+		lemma, ok := refuting(res.Final, library, cti.From)
+		if !ok {
+			res.Rounds = append(res.Rounds, Round{CTI: cti})
+			return res, nil
+		}
+		res.Rounds = append(res.Rounds, Round{CTI: cti, Lemma: lemma.Name})
+		res.Final = res.Final.With(lemma)
+	}
+}
+
+// refuting returns the first library lemma absent from the conjunction
+// that refutes (evaluates false at) the CTI pre-state.
+func refuting(c *lattice.Conjunction, library []lattice.Lemma, from ioa.State) (lattice.Lemma, bool) {
+	for _, l := range library {
+		if c.Has(l.Name) {
+			continue
+		}
+		if !l.Pred(from) {
+			return l, true
+		}
+	}
+	return lattice.Lemma{}, false
+}
+
+// String renders the strengthening history.
+func (r StrengthenResult) String() string {
+	s := r.Certificate.String()
+	for i, round := range r.Rounds {
+		if round.Lemma != "" {
+			s += fmt.Sprintf("\n  round %d: %s ⇒ conjoin %s", i+1, round.CTI, round.Lemma)
+		} else {
+			s += fmt.Sprintf("\n  round %d: %s ⇒ no refuting lemma", i+1, round.CTI)
+		}
+	}
+	return s
+}

@@ -1,0 +1,64 @@
+package lattice
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+func isKey(k string) Lemma {
+	return L(k, func(s ioa.State) bool { return s.Key() == k })
+}
+
+func notKey(k string) Lemma {
+	return L("not-"+k, func(s ioa.State) bool { return s.Key() != k })
+}
+
+func TestConjunction(t *testing.T) {
+	c := Conj("Inv", notKey("x"), notKey("y"))
+	if c.Len() != 2 || c.Name() != "Inv" {
+		t.Fatalf("Len/Name wrong: %s", c)
+	}
+	if !c.Holds(ioa.KeyState("z")) {
+		t.Fatal("z should satisfy")
+	}
+	if l, bad := c.FirstViolated(ioa.KeyState("y")); !bad || l.Name != "not-y" {
+		t.Fatalf("FirstViolated(y) = %v, %v", l.Name, bad)
+	}
+	// Order matters: the first violated conjunct wins.
+	c2 := Conj("Inv", notKey("x"), L("never", func(ioa.State) bool { return false }))
+	if l, _ := c2.FirstViolated(ioa.KeyState("x")); l.Name != "not-x" {
+		t.Fatalf("want not-x first, got %s", l.Name)
+	}
+	if got := c.String(); got != "Inv == not-x ∧ not-y" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestConjunctionWith(t *testing.T) {
+	c := Conj("Inv", notKey("x"))
+	c2 := c.With(notKey("y"))
+	if c.Len() != 1 || c2.Len() != 2 {
+		t.Fatal("With must copy, not mutate")
+	}
+	if !c2.Has("not-y") || c.Has("not-y") {
+		t.Fatal("Has wrong")
+	}
+	if ls := c2.Lemmas(); len(ls) != 2 || ls[1].Name != "not-y" {
+		t.Fatalf("Lemmas = %v", ls)
+	}
+}
+
+func TestConjunctionZero(t *testing.T) {
+	var c *Conjunction
+	if !c.Holds(ioa.KeyState("x")) || c.Len() != 0 || c.Has("a") {
+		t.Fatal("nil conjunction should be TRUE everywhere")
+	}
+	if got := c.With(notKey("x")).String(); got != "Inv == not-x" {
+		t.Fatalf("String = %q", got)
+	}
+	empty := Conj("Empty")
+	if got := empty.String(); got != "Empty == TRUE" {
+		t.Fatalf("String = %q", got)
+	}
+}

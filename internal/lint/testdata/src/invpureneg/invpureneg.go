@@ -1,0 +1,49 @@
+// Package invpureneg holds pure predicates exercising every pattern
+// the invpure analyzer must NOT flag: reads through asserted aliases,
+// writes to function-local variables, condition-only map iteration
+// (membership and counting), and a deliberate violation silenced by a
+// //lint:ignore directive with its reason.
+package invpureneg
+
+import (
+	"repro/internal/ioa"
+	"repro/internal/lattice"
+)
+
+type box struct {
+	n int
+	m map[string]int
+}
+
+func (b *box) Key() string { return "box" }
+
+func lemmas() []lattice.Lemma {
+	reading := lattice.L("reading", func(s ioa.State) bool {
+		pb := s.(*box)
+		return pb.n >= 0 && len(pb.m) < 8
+	})
+	localWork := lattice.Lemma{Name: "localWork", Pred: func(s ioa.State) bool {
+		total := 0
+		for _, v := range s.(*box).m {
+			if v > 0 { // condition-only use of the iteration value
+				total++
+			}
+		}
+		return total <= 1
+	}}
+	membership := lattice.L("membership", func(s ioa.State) bool {
+		for k := range s.(*box).m {
+			if k == "poison" {
+				return false
+			}
+		}
+		return true
+	})
+	silenced := lattice.L("silenced", func(s ioa.State) bool {
+		seen[s.Key()] = true //lint:ignore invpure memo write is idempotent and test-only
+		return true
+	})
+	return []lattice.Lemma{reading, localWork, membership, silenced}
+}
+
+var seen = map[string]bool{}

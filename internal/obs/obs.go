@@ -35,9 +35,9 @@ type Obs struct {
 	// Tracer collects trace_event spans for -trace-out.
 	Tracer *Tracer
 
-	// Explore, Memo, Sim, Faults, Proof, Store, Stabilize are the
-	// per-subsystem metric sets, pre-resolved from Reg so hot paths
-	// never take the registry lock.
+	// Explore, Memo, Sim, Faults, Proof, Store, Stabilize, Induct are
+	// the per-subsystem metric sets, pre-resolved from Reg so hot
+	// paths never take the registry lock.
 	Explore   *ExploreMetrics
 	Memo      *MemoMetrics
 	Sim       *SimMetrics
@@ -45,6 +45,7 @@ type Obs struct {
 	Proof     *ProofMetrics
 	Store     *StoreMetrics
 	Stabilize *StabilizeMetrics
+	Induct    *InductMetrics
 
 	clock func() time.Time
 }
@@ -66,6 +67,7 @@ func New(clock func() time.Time) *Obs {
 		Proof:     newProofMetrics(reg),
 		Store:     newStoreMetrics(reg),
 		Stabilize: newStabilizeMetrics(reg),
+		Induct:    newInductMetrics(reg),
 		clock:     clock,
 	}
 }
@@ -256,6 +258,57 @@ func newStabilizeMetrics(r *Registry) *StabilizeMetrics {
 		K:        r.Gauge("stabilize.k"),
 		Rounds:   r.Histogram("stabilize.rounds_to_legitimacy"),
 	}
+}
+
+// InductMetrics instruments the inductive-invariant certification
+// engine (internal/induct): certification runs, the latest run's
+// domain walk sizes, CTI count, and per-conjunct obligation counters
+// — how many (state, step, conjunct) proof obligations each lemma of
+// the strengthened conjunction discharged.
+type InductMetrics struct {
+	// Runs counts certification runs.
+	Runs *Counter
+	// Domain is the latest run's enumerated-domain size; Candidates
+	// the subset satisfying the candidate invariant (whose steps carry
+	// obligations); Transitions the pushed transition count.
+	Domain      *Gauge
+	Candidates  *Gauge
+	Transitions *Gauge
+	// CTIs counts counterexamples-to-induction across runs.
+	CTIs *Counter
+
+	reg         *Registry
+	mu          sync.Mutex
+	obligations map[string]*Counter
+}
+
+func newInductMetrics(r *Registry) *InductMetrics {
+	return &InductMetrics{
+		Runs:        r.Counter("induct.runs"),
+		Domain:      r.Gauge("induct.domain_states"),
+		Candidates:  r.Gauge("induct.candidates"),
+		Transitions: r.Gauge("induct.transitions"),
+		CTIs:        r.Counter("induct.ctis"),
+		reg:         r,
+		obligations: make(map[string]*Counter),
+	}
+}
+
+// Obligations credits n discharged obligations to the named conjunct.
+// The per-conjunct counters appear in snapshots as
+// "induct.obligations.<name>".
+func (m *InductMetrics) Obligations(conjunct string, n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.mu.Lock()
+	c, ok := m.obligations[conjunct]
+	if !ok {
+		c = m.reg.Counter("induct.obligations." + conjunct)
+		m.obligations[conjunct] = c
+	}
+	m.mu.Unlock()
+	c.Add(n)
 }
 
 // ProofMetrics instruments the possibilities-mapping checker.

@@ -17,10 +17,12 @@ package ring
 // fair counterexample cycles that appear when K is too small.
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 
+	"repro/internal/domain"
 	"repro/internal/ioa"
 )
 
@@ -147,29 +149,45 @@ func (r *DijkstraRing) Legit(st ioa.State) bool {
 	return len(r.Privileged(st)) == 1
 }
 
-// AllStates enumerates every one of the K^n counter vectors in
-// odometer order — the full corruption envelope. Intended for small
-// rings (the certifier's graphs are K^n nodes).
-func (r *DijkstraRing) AllStates() []ioa.State {
-	total := 1
-	for i := 0; i < r.N; i++ {
-		total *= r.K
+// StateDomain streams every one of the K^n counter vectors in
+// odometer order — the full corruption envelope, and the candidate
+// space for inductive certification. The product never materializes:
+// spaces far beyond what the certifier's graphs could hold (16.7M
+// states at n=K=8) walk in O(1) memory.
+func (r *DijkstraRing) StateDomain() domain.Domain {
+	card := make([]int, r.N)
+	for i := range card {
+		card[i] = r.K
 	}
-	out := make([]ioa.State, 0, total)
-	vals := make([]int, r.N)
-	for {
-		out = append(out, NewDijkstraState(vals))
-		i := r.N - 1
-		for i >= 0 {
-			vals[i]++
-			if vals[i] < r.K {
-				break
+	d, err := domain.Product("all-corruptions", card,
+		func(digits []int) ioa.State { return NewDijkstraState(digits) },
+		func(s ioa.State) bool {
+			ds, ok := s.(*DijkstraState)
+			if !ok || len(ds.vals) != r.N {
+				return false
 			}
-			vals[i] = 0
-			i--
-		}
-		if i < 0 {
-			return out
-		}
+			for _, v := range ds.vals {
+				if v < 0 || v >= r.K {
+					return false
+				}
+			}
+			return true
+		})
+	if err != nil {
+		panic(err) // unreachable: N >= 2 enforced by NewDijkstra
 	}
+	return d
+}
+
+// AllStates enumerates every one of the K^n counter vectors in
+// odometer order, materialized.
+//
+// Deprecated: use StateDomain, which streams the product instead of
+// holding K^n states at once.
+func (r *DijkstraRing) AllStates() []ioa.State {
+	states, err := domain.Collect(context.Background(), r.StateDomain())
+	if err != nil {
+		panic(err) // unreachable: the product visitor cannot fail
+	}
+	return states
 }

@@ -1,8 +1,11 @@
 package ring
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
+	"repro/internal/domain"
 	"repro/internal/ioa"
 )
 
@@ -112,6 +115,44 @@ func TestDijkstraAllStates(t *testing.T) {
 	}
 	if all[0].Key() != "0.0.0" || all[1].Key() != "0.0.1" || all[26].Key() != "2.2.2" {
 		t.Fatalf("odometer order broken: %q %q ... %q", all[0].Key(), all[1].Key(), all[26].Key())
+	}
+}
+
+// TestDijkstraStateDomain checks the streamed domain against the
+// deprecated materializing shim elementwise, and its Contains
+// implementation against membership in the enumeration.
+func TestDijkstraStateDomain(t *testing.T) {
+	r := mustDijkstra(t, 3, 3)
+	d := r.StateDomain()
+	i := 0
+	all := r.AllStates()
+	if err := d.Visit(context.Background(), func(s ioa.State) error {
+		if i >= len(all) {
+			return fmt.Errorf("domain visits more than the %d enumerated states", len(all))
+		}
+		if s.Key() != all[i].Key() {
+			return fmt.Errorf("state %d: domain %q, AllStates %q", i, s.Key(), all[i].Key())
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(all) {
+		t.Fatalf("domain visited %d states, AllStates has %d", i, len(all))
+	}
+	c, ok := d.(domain.Container)
+	if !ok {
+		t.Fatal("StateDomain should implement Contains")
+	}
+	if !c.Contains(NewDijkstraState([]int{2, 1, 0})) {
+		t.Fatal("Contains rejects an in-range vector")
+	}
+	if c.Contains(NewDijkstraState([]int{0, 0, 3})) {
+		t.Fatal("Contains accepts an out-of-range counter")
+	}
+	if n := domain.Size(d); n != 27 {
+		t.Fatalf("Size = %d, want 27", n)
 	}
 }
 

@@ -1,140 +1,57 @@
 package stabilize
 
-// Corruption envelopes: enumerable sets of corrupt states a
-// certification starts from. The tentpole wiring is Reachable over a
-// fault-wrapped automaton — the same faults adversary (crash/restart
-// wrappers, state clamps, scheduled channels) that injects faults in
-// chaos sweeps also defines the corruption space, with a projection
-// mapping fault-wrapper states back into the certified automaton's
-// state space.
+// Corruption envelopes are state domains (internal/domain): the
+// generators that used to live here — Explicit, Reachable, Union and
+// the CrashInner/TupleMap projections — were lifted into the domain
+// package so the induct certification engine (and anything else that
+// quantifies over state spaces) reuses them without an import cycle.
+// The names below survive as deprecated aliases for downstream code;
+// in-repo non-test callers construct domains directly (a CI grep
+// keeps them off this file).
 
 import (
-	"context"
-	"fmt"
-
-	"repro/internal/faults"
+	"repro/internal/domain"
 	"repro/internal/ioa"
-	"repro/internal/store"
 )
 
 // An Envelope enumerates the corrupt initial states certification
-// starts from. States must belong to the certified automaton's state
-// space (projections bridge fault wrappers); the list need not be
-// duplicate-free.
-type Envelope interface {
-	// Name labels the envelope in certificates.
-	Name() string
-	// States enumerates the envelope, deterministically.
-	States(ctx context.Context) ([]ioa.State, error)
-}
+// starts from: any state domain. States must belong to the certified
+// automaton's state space (projections bridge fault wrappers); the
+// enumeration need not be duplicate-free — Certify deduplicates.
+type Envelope = domain.Domain
 
 // Explicit wraps a fixed state list.
+//
+// Deprecated: use domain.Explicit.
 func Explicit(name string, states []ioa.State) Envelope {
-	return &explicitEnv{name: name, states: states}
-}
-
-type explicitEnv struct {
-	name   string
-	states []ioa.State
-}
-
-func (e *explicitEnv) Name() string { return e.name }
-
-func (e *explicitEnv) States(context.Context) ([]ioa.State, error) {
-	return e.states, nil
+	return domain.Explicit(name, states)
 }
 
 // Reachable derives the envelope from the reachable states of
-// corrupted — typically the certified automaton wrapped in fault
-// transformers (faults.CrashRestart, faults.Clamp, or a composition
-// of wrapped components). project maps each reached state back into
-// the certified automaton's state space (nil is the identity; a nil
-// projected state is skipped). The projected states are deduplicated
-// in reach order, so the envelope is deterministic.
+// corrupted, projected and deduplicated in reach order.
+//
+// Deprecated: use domain.Reachable (which takes explore.Options
+// directly).
 func Reachable(name string, corrupted ioa.Automaton, project func(ioa.State) ioa.State, opts Options) Envelope {
-	return &reachEnv{name: name, corrupted: corrupted, project: project, opts: opts}
+	return domain.Reachable(name, corrupted, project, opts.exploreOptions())
 }
 
-type reachEnv struct {
-	name      string
-	corrupted ioa.Automaton
-	project   func(ioa.State) ioa.State
-	opts      Options
-}
-
-func (e *reachEnv) Name() string { return e.name }
-
-func (e *reachEnv) States(ctx context.Context) ([]ioa.State, error) {
-	states, err := e.opts.engine().Reach(ctx, e.corrupted)
-	if err != nil {
-		return nil, fmt.Errorf("stabilize: envelope %q: %w", e.name, err)
-	}
-	seen := store.New(store.Options{})
-	out := make([]ioa.State, 0, len(states))
-	for _, s := range states {
-		if e.project != nil {
-			s = e.project(s)
-			if s == nil {
-				continue
-			}
-		}
-		if _, fresh := seen.Intern(s); fresh {
-			out = append(out, s)
-		}
-	}
-	return out, nil
-}
-
-// Union concatenates envelopes under one name. Overlap is fine —
-// Certify deduplicates.
+// Union concatenates envelopes under one name.
+//
+// Deprecated: use domain.Union.
 func Union(name string, envs ...Envelope) Envelope {
-	return &unionEnv{name: name, envs: envs}
-}
-
-type unionEnv struct {
-	name string
-	envs []Envelope
-}
-
-func (e *unionEnv) Name() string { return e.name }
-
-func (e *unionEnv) States(ctx context.Context) ([]ioa.State, error) {
-	var out []ioa.State
-	for _, env := range e.envs {
-		states, err := env.States(ctx)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, states...)
-	}
-	return out, nil
+	return domain.Union(name, envs...)
 }
 
 // CrashInner projects a faults.CrashState to the wrapped automaton's
-// state, discarding the down flag — the state a crash leaves the
-// process in. Non-crash states pass through.
-func CrashInner(s ioa.State) ioa.State {
-	if cs, ok := s.(*faults.CrashState); ok {
-		return cs.Inner()
-	}
-	return s
-}
+// state.
+//
+// Deprecated: use domain.CrashInner.
+func CrashInner(s ioa.State) ioa.State { return domain.CrashInner(s) }
 
-// TupleMap lifts a per-component projection over composite states:
-// the projection applies to every component of a TupleState (and to
-// non-tuple states directly). Composing crash-wrapped components and
-// projecting with TupleMap(CrashInner) turns the reachable states of
-// the crashed system into valid states of the clean composition.
+// TupleMap lifts a per-component projection over composite states.
+//
+// Deprecated: use domain.TupleMap.
 func TupleMap(f func(ioa.State) ioa.State) func(ioa.State) ioa.State {
-	return func(s ioa.State) ioa.State {
-		ts, ok := s.(*ioa.TupleState)
-		if !ok {
-			return f(s)
-		}
-		parts := make([]ioa.State, ts.Len())
-		for i := 0; i < ts.Len(); i++ {
-			parts[i] = f(ts.At(i))
-		}
-		return ioa.NewTupleState(parts)
-	}
+	return domain.TupleMap(f)
 }

@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/domain"
 	"repro/internal/explore"
 	"repro/internal/ioa"
 	"repro/internal/ltl"
@@ -82,9 +83,14 @@ type Options struct {
 	Canon store.Canonicalizer
 }
 
+// exploreOptions converts to the engine options the certifier runs on.
+func (o Options) exploreOptions() explore.Options {
+	return explore.Options{Workers: o.Workers, Limit: o.Limit, Obs: o.Obs, Canon: o.Canon}
+}
+
 // engine builds the explore engine the options describe.
 func (o Options) engine() *explore.Engine {
-	return explore.New(explore.Options{Workers: o.Workers, Limit: o.Limit, Obs: o.Obs, Canon: o.Canon})
+	return explore.New(o.exploreOptions())
 }
 
 // A Step is one transition witness.
@@ -230,7 +236,7 @@ func Certify(ctx context.Context, a ioa.Automaton, legit func(ioa.State) bool, e
 	if env == nil {
 		return nil, fmt.Errorf("stabilize: nil envelope")
 	}
-	envStates, err := env.States(ctx)
+	envStates, err := domain.Collect(ctx, env)
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/arbiter/spec"
+	"repro/internal/domain"
 	"repro/internal/faults"
 	"repro/internal/ioa"
 	"repro/internal/obs"
@@ -228,7 +229,7 @@ func TestEnvelopeReachableCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	env := stabilize.Reachable("crash(t)", crashed, stabilize.CrashInner, seq())
-	states, err := env.States(context.Background())
+	states, err := domain.Collect(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
