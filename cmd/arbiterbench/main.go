@@ -31,7 +31,8 @@
 //	             [-reduction] [-reduction-out file]
 //	             [-induct-bench] [-induct-out file]
 //	             [-chaos] [-recover-within k]
-//	             [-obs-addr host:port]
+//	             [-bench-gate] [-gate-dir d] [-gate-threshold x] [-gate-handicap m]
+//	             [-obs-addr host:port] [-ledger-out file]
 //
 // The -induct-bench sweep (E21) certifies safety invariants by
 // one-step induction over complete candidate domains — the closed
@@ -67,6 +68,19 @@
 // within the window. A fault-free cell failing recovery exits
 // non-zero — the CI smoke gate. -recover-within also applies to the
 // chaos sweep at the end of the default full run.
+//
+// The -bench-gate mode (E22) is the trajectory regression gate: it
+// re-runs the obs and store sweeps fresh at the canonical gate
+// configurations, compares state counts exactly and wall times within
+// -gate-threshold (default 5x) against the committed BENCH_*.json
+// files under -gate-dir (default "."), structurally validates the
+// expensive trajectory files, and exits non-zero on any regression.
+// -gate-handicap multiplies fresh wall times before comparison — the
+// CI negative arm runs with a large handicap and requires failure.
+//
+// -ledger-out appends one schema-versioned provenance record per
+// invocation (mode, seed, flags, wall time, verdict) to a JSONL run
+// ledger shared with ioasim; see internal/ledger.
 package main
 
 import (
@@ -79,7 +93,9 @@ import (
 	"repro/internal/bench"
 	"repro/internal/explore"
 	"repro/internal/graph"
+	"repro/internal/ledger"
 	"repro/internal/obs"
+	"repro/internal/testseed"
 )
 
 func main() {
@@ -98,7 +114,7 @@ func main() {
 		storeUsers   = flag.Int("store-users", 6, "users per arbiter instance in the -store-bench sweep")
 		storeOut     = flag.String("store-bench-out", "", "write -store-bench rows as JSON to this file")
 		obsBench     = flag.Bool("obs-bench", false, "run the observability-overhead sweep and exit")
-		obsUsers     = flag.Int("obs-users", 3, "users per arbiter instance in the -obs-bench sweep")
+		obsUsers     = flag.Int("obs-users", 6, "users per arbiter instance in the -obs-bench sweep")
 		obsOut       = flag.String("obs-bench-out", "", "write -obs-bench rows as JSON to this file")
 		stabBench    = flag.Bool("stabilize-bench", false, "run the self-stabilization certification sweep and exit")
 		stabSizes    = flag.Int("stabilize-sizes", 4, "largest Dijkstra ring size in the -stabilize-bench sweep")
@@ -110,8 +126,51 @@ func main() {
 		chaosOnly    = flag.Bool("chaos", false, "run only the chaos sweep; exit non-zero if a fault-free cell fails recovery")
 		recoverIn    = flag.Int("recover-within", 60, "chaos recovery window k in states/steps (0 disables the criterion)")
 		obsAddr      = flag.String("obs-addr", "", "serve live expvar + pprof debug endpoints on this address (e.g. :6060)")
+		benchGate    = flag.Bool("bench-gate", false, "re-run the cheap sweeps against the committed BENCH_*.json trajectory and exit non-zero on regression")
+		gateDir      = flag.String("gate-dir", ".", "directory holding the committed BENCH_*.json files for -bench-gate")
+		gateThresh   = flag.Float64("gate-threshold", 5, "tolerated wall-clock slowdown ratio in -bench-gate")
+		gateHandicap = flag.Float64("gate-handicap", 1, "multiplier on fresh wall times in -bench-gate (>1 is the synthetic-regression negative arm)")
+		ledgerOut    = flag.String("ledger-out", "", "append a provenance record per run to this JSONL journal")
 	)
 	flag.Parse()
+
+	var led *ledger.Ledger
+	if *ledgerOut != "" {
+		f, err := os.OpenFile(*ledgerOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("ledger: %v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Printf("ledger: %v", err)
+			}
+		}()
+		led = ledger.New(f, ledger.Options{})
+	}
+	started := testseed.Now()
+	// record journals one provenance record; nil-safe on the ledger so
+	// every mode branch can call it unconditionally.
+	record := func(mode string, states int64, verdict, detail string, artifacts ...string) {
+		if led == nil {
+			return
+		}
+		flags := make(map[string]string)
+		flag.Visit(func(f *flag.Flag) { flags[f.Name] = f.Value.String() })
+		r := ledger.Run{
+			Tool: "arbiterbench", Mode: mode, Seed: *seed,
+			Workers: ex.Workers(), Limit: ex.Limit(), Flags: flags,
+			WallNS: testseed.Now().Sub(started).Nanoseconds(),
+			States: states, Verdict: verdict, Detail: detail,
+		}
+		for _, a := range artifacts {
+			if a != "" {
+				r.Artifacts = append(r.Artifacts, a)
+			}
+		}
+		if err := led.Record(r); err != nil {
+			log.Printf("ledger: %v", err)
+		}
+	}
 
 	if *obsAddr != "" {
 		addr, stop, err := obs.Serve(*obsAddr)
@@ -124,6 +183,26 @@ func main() {
 			}
 		}()
 		fmt.Printf("obs: serving http://%s/debug/vars and /debug/pprof/\n", addr)
+	}
+
+	if *benchGate {
+		res, err := bench.Gate(bench.GateConfig{Dir: *gateDir, Threshold: *gateThresh, Handicap: *gateHandicap})
+		if err != nil {
+			record("bench-gate", 0, "fail", err.Error())
+			log.Fatalf("bench gate: %v", err)
+		}
+		bench.PrintGate(os.Stdout, res)
+		verdict := "ok"
+		if res.Regressions > 0 {
+			verdict = "fail"
+		}
+		record("bench-gate", int64(len(res.Checks)), verdict,
+			fmt.Sprintf("%d regressions in %d checks (threshold %.1f, handicap %.1f)",
+				res.Regressions, len(res.Checks), *gateThresh, *gateHandicap))
+		if res.Regressions > 0 {
+			log.Fatalf("bench gate: %d regressions against the committed trajectory", res.Regressions)
+		}
+		return
 	}
 
 	if *obsBench {
@@ -144,6 +223,7 @@ func main() {
 				log.Fatalf("obs out: %v", err)
 			}
 		}
+		record("obs-bench", 0, "ok", fmt.Sprintf("%d rows", len(rows)), *obsOut)
 		return
 	}
 
@@ -169,6 +249,7 @@ func main() {
 				log.Fatalf("stabilize out: %v", err)
 			}
 		}
+		record("stabilize-bench", 0, "ok", fmt.Sprintf("%d rows", len(rows)), *stabOut)
 		return
 	}
 
@@ -196,6 +277,7 @@ func main() {
 				log.Fatalf("reduction out: %v", err)
 			}
 		}
+		record("reduction", 0, "ok", fmt.Sprintf("%d rows", len(rows)), *reductionOut)
 		return
 	}
 
@@ -217,13 +299,16 @@ func main() {
 				log.Fatalf("induct out: %v", err)
 			}
 		}
+		record("induct-bench", 0, "ok", fmt.Sprintf("%d rows", len(rows)), *inductOut)
 		return
 	}
 
 	if *chaosOnly {
 		if err := runChaos(ex.Workers(), *quick, *recoverIn, true); err != nil {
+			record("chaos", 0, "fail", err.Error())
 			log.Fatalf("chaos sweep: %v", err)
 		}
+		record("chaos", 0, "ok", "")
 		return
 	}
 
@@ -249,6 +334,7 @@ func main() {
 				log.Fatalf("store out: %v", err)
 			}
 		}
+		record("store-bench", 0, "ok", fmt.Sprintf("%d rows", len(rows)), *storeOut)
 		return
 	}
 
@@ -270,6 +356,7 @@ func main() {
 				log.Fatalf("explore out: %v", err)
 			}
 		}
+		record("explore", 0, "ok", fmt.Sprintf("%d rows", len(rows)), *exploreOut)
 		return
 	}
 
@@ -333,6 +420,7 @@ func main() {
 		log.Fatalf("chaos sweep: %v", err)
 	}
 
+	record("full", 0, "ok", "")
 	fmt.Println("done")
 }
 

@@ -11,6 +11,7 @@
 //	       [-trace] [-json] [-dot] [-reach] [-stabilize] [-induct]
 //	       [-workers n] [-limit n] [-dedup]
 //	       [-obs-addr host:port] [-trace-out file] [-metrics-out file]
+//	       [-ledger-out file] [-progress] [-stall-after d]
 //
 // The -reach flag explores the system's reachable state space instead
 // of simulating it, reporting the state count and deadlocks.
@@ -24,7 +25,10 @@
 // lamport system (Lamport's bounded-clock mutual-exclusion algorithm,
 // -users processes, clocks to 2, unit channels) certifies mutual
 // exclusion over 518,400 candidate states at -users 2 against a
-// reachable set of a few dozen. On failure the counterexample to
+// reachable set of a few dozen; because the domain grows by roughly
+// five orders of magnitude per extra process, lamport -induct defaults
+// to that certified 2-process configuration unless -users is given
+// explicitly. On failure the counterexample to
 // induction (pre-state, action, post-state, first violated conjunct)
 // is printed and the process exits non-zero, so CI can assert both
 // directions. Supported systems: arbiter1, dijkstra, ring, mutex,
@@ -65,9 +69,20 @@
 // injected faults, and counter series for the composition memo.
 // -metrics-out writes a JSON snapshot of every counter and histogram
 // (states admitted, memo hit/miss, per-class fire counts, fault
-// counts). -obs-addr serves live expvar metrics at /debug/vars and
-// pprof profiles at /debug/pprof/ for the duration of the run. Any of
-// the three flags enables instrumentation; with none set the
+// counts). -obs-addr serves live expvar metrics at /debug/vars, pprof
+// profiles at /debug/pprof/, a liveness probe at /debug/healthz, and —
+// when a ledger is active — live progress at /debug/progress (JSON)
+// and /debug/progress/html, for the duration of the run. -ledger-out
+// appends a schema-versioned JSONL run ledger (see internal/ledger):
+// one provenance record per run (system, seed, explicitly-set flags,
+// wall time, states, per-conjunct obligation counts, verdict, artifact
+// paths) plus periodic progress snapshots with derived states/sec and
+// ETA. -progress echoes the same snapshots to stderr as human-readable
+// lines. While a ledger is active a stall watchdog journals a
+// goroutine dump and the recent journal ring whenever no progress
+// lands within -stall-after (default 30s; 0 disables) — the run keeps
+// going, the evidence is for the postmortem. Any of
+// the flags enables instrumentation; with none set the
 // observability layer is off and costs nothing.
 package main
 
@@ -81,6 +96,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/arbiter/dist"
 	"repro/internal/arbiter/graphlevel"
@@ -94,6 +110,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/induct"
 	"repro/internal/ioa"
+	"repro/internal/ledger"
 	"repro/internal/mutex"
 	"repro/internal/obs"
 	"repro/internal/reduce"
@@ -101,6 +118,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stabilize"
 	"repro/internal/store"
+	"repro/internal/testseed"
 )
 
 // config carries every flag; run is pure in (config, out), so tests
@@ -126,6 +144,17 @@ type config struct {
 	obsAddr    string
 	traceOut   string
 	metricsOut string
+	ledgerOut  string
+	progress   bool
+	stallAfter time.Duration
+
+	// usersSet records whether -users was given explicitly; without
+	// it, lamport -induct downsizes to its certified 2-process domain
+	// (the full 3-process candidate space is ~10^13 states).
+	usersSet bool
+	// flags holds the explicitly-set command-line flags, journaled as
+	// run provenance; nil when run is driven directly from tests.
+	flags map[string]string
 }
 
 func main() {
@@ -149,10 +178,20 @@ func main() {
 	flag.StringVar(&cfg.obsAddr, "obs-addr", "", "serve live expvar + pprof debug endpoints on this address (e.g. :6060)")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write a Chrome trace_event JSON file to this path")
 	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write a metrics snapshot JSON file to this path")
+	flag.StringVar(&cfg.ledgerOut, "ledger-out", "", "append a JSONL run ledger (provenance record + progress snapshots) to this path")
+	flag.BoolVar(&cfg.progress, "progress", false, "echo live progress snapshots to stderr")
+	flag.DurationVar(&cfg.stallAfter, "stall-after", 30*time.Second, "with -ledger-out/-progress: journal a stall dump when no progress lands within this window (0 disables)")
 	flag.Parse()
 	cfg.explore = ex.Options(nil, nil)
 	cfg.symmetry = ex.Symmetry()
 	cfg.por = ex.POR()
+	cfg.flags = make(map[string]string)
+	flag.Visit(func(f *flag.Flag) {
+		cfg.flags[f.Name] = f.Value.String()
+		if f.Name == "users" {
+			cfg.usersSet = true
+		}
+	})
 	if err := run(cfg, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
@@ -160,23 +199,56 @@ func main() {
 
 // run executes one ioasim invocation, writing human output to out.
 // Observability artifacts (-trace-out, -metrics-out) are written even
-// when the run itself fails, so a trace of the failing run survives;
-// all errors, including partial-write errors from the artifact files,
-// are combined into the returned error.
+// when the run itself fails, so a trace of the failing run survives,
+// and the ledger's provenance record is appended last so it names the
+// artifacts and carries the final verdict; all errors, including
+// partial-write errors from the artifact and ledger files, are
+// combined into the returned error.
 func run(cfg config, out io.Writer) error {
 	prof, err := faults.ParseProfile(cfg.faults)
 	if err != nil {
 		return err
 	}
 	var o *obs.Obs
-	if cfg.obsAddr != "" || cfg.traceOut != "" || cfg.metricsOut != "" {
+	if cfg.obsAddr != "" || cfg.traceOut != "" || cfg.metricsOut != "" || cfg.ledgerOut != "" || cfg.progress {
 		o = obs.New(nil)
 		o.Tracer.NameProcess("ioasim -system " + cfg.system)
+	}
+	var (
+		led     *ledger.Ledger
+		ledFile *os.File
+	)
+	if cfg.ledgerOut != "" || cfg.progress {
+		w := io.Writer(io.Discard)
+		if cfg.ledgerOut != "" {
+			// O_APPEND, not truncate: the ledger is a journal, and CI
+			// jobs accumulate several runs into one artifact file.
+			ledFile, err = os.OpenFile(cfg.ledgerOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			w = ledFile
+		}
+		var lopts ledger.Options
+		if cfg.progress {
+			lopts.Echo = os.Stderr
+		}
+		led = ledger.New(w, lopts)
+		o.Progress = led.OnProgress
+		if cfg.stallAfter > 0 {
+			wd := led.NewWatchdog(cfg.stallAfter)
+			wd.Start()
+			defer wd.Stop()
+		}
 	}
 	var stopServe func() error
 	if cfg.obsAddr != "" {
 		o.PublishExpvar("ioasim")
-		addr, stop, err := obs.Serve(cfg.obsAddr)
+		var extra []obs.Endpoint
+		if led != nil {
+			extra = led.Endpoints()
+		}
+		addr, stop, err := obs.Serve(cfg.obsAddr, extra...)
 		if err != nil {
 			return err
 		}
@@ -184,10 +256,24 @@ func run(cfg config, out io.Writer) error {
 		fmt.Fprintf(out, "obs: serving http://%s/debug/vars and /debug/pprof/\n", addr)
 	}
 
+	rec := &ledger.Run{
+		Tool:     "ioasim",
+		Mode:     runMode(cfg),
+		System:   cfg.system,
+		Seed:     cfg.seed,
+		Users:    cfg.nUsers,
+		Workers:  cfg.explore.Workers,
+		Limit:    cfg.explore.Limit,
+		Symmetry: cfg.symmetry,
+		POR:      cfg.por,
+		Flags:    cfg.flags,
+	}
+	started := testseed.Now()
+
 	if cfg.stabilize {
-		err = certifyRun(cfg, prof, o, out)
+		err = certifyRun(cfg, prof, o, rec, out)
 	} else if cfg.induct {
-		err = inductRun(cfg, prof, o, out)
+		err = inductRun(cfg, prof, o, rec, out)
 	} else {
 		var auto ioa.Automaton
 		auto, err = buildSystem(cfg.system, cfg.nUsers, prof, cfg.faultSd, o)
@@ -198,20 +284,52 @@ func run(cfg config, out io.Writer) error {
 			auto, err = applyReduction(&cfg, auto)
 		}
 		if err == nil {
-			err = dispatch(cfg, auto, o, out)
+			err = dispatch(cfg, auto, o, rec, out)
 		}
 	}
 
 	if cfg.traceOut != "" {
 		err = errors.Join(err, writeFile(cfg.traceOut, o.Tracer.WriteJSON))
+		rec.Artifacts = append(rec.Artifacts, cfg.traceOut)
 	}
 	if cfg.metricsOut != "" {
 		err = errors.Join(err, writeFile(cfg.metricsOut, o.Reg.WriteJSON))
+		rec.Artifacts = append(rec.Artifacts, cfg.metricsOut)
+	}
+	if led != nil {
+		rec.WallNS = testseed.Now().Sub(started).Nanoseconds()
+		rec.Verdict = "ok"
+		if err != nil {
+			rec.Verdict = "fail"
+			if rec.Detail == "" {
+				rec.Detail = err.Error()
+			}
+		}
+		err = errors.Join(err, led.Record(*rec))
+	}
+	if ledFile != nil {
+		err = errors.Join(err, ledFile.Close())
 	}
 	if stopServe != nil {
 		err = errors.Join(err, stopServe())
 	}
 	return err
+}
+
+// runMode names the entry point for the ledger's provenance record.
+func runMode(cfg config) string {
+	switch {
+	case cfg.stabilize:
+		return "stabilize"
+	case cfg.induct:
+		return "induct"
+	case cfg.dotOut:
+		return "dot"
+	case cfg.reach:
+		return "reach"
+	default:
+		return "simulate"
+	}
 }
 
 // systemCanonicalizer resolves -symmetry for a system: the
@@ -299,7 +417,7 @@ func applyReduction(cfg *config, auto ioa.Automaton) (ioa.Automaton, error) {
 // process wrapped in faults.CrashRestart, projected back into the
 // clean composition. A non-stabilizing verdict is an error, so the
 // process exits non-zero.
-func certifyRun(cfg config, prof faults.Profile, o *obs.Obs, out io.Writer) error {
+func certifyRun(cfg config, prof faults.Profile, o *obs.Obs, rec *ledger.Run, out io.Writer) error {
 	if !prof.Zero() {
 		return errors.New("-stabilize certifies state corruption envelopes; channel -faults do not apply")
 	}
@@ -360,6 +478,8 @@ func certifyRun(cfg config, prof faults.Profile, o *obs.Obs, out io.Writer) erro
 	if err != nil {
 		return err
 	}
+	rec.Domain = cert.Envelope
+	rec.States = int64(cert.States)
 	fmt.Fprintln(out, cert)
 	if !cert.Stabilizing() {
 		return fmt.Errorf("%s is not self-stabilizing under envelope %q", cert.Automaton, cert.Envelope)
@@ -372,7 +492,7 @@ func certifyRun(cfg config, prof faults.Profile, o *obs.Obs, out io.Writer) erro
 // certificate. A counterexample to induction is an error, so the
 // process exits non-zero — the negative direction CI asserts with a
 // deliberately weakened conjunction lives in the bench battery.
-func inductRun(cfg config, prof faults.Profile, o *obs.Obs, out io.Writer) error {
+func inductRun(cfg config, prof faults.Profile, o *obs.Obs, rec *ledger.Run, out io.Writer) error {
 	if !prof.Zero() {
 		return errors.New("-induct certifies the fault-free systems; channel -faults do not apply")
 	}
@@ -393,7 +513,15 @@ func inductRun(cfg config, prof faults.Profile, o *obs.Obs, out io.Writer) error
 	case "mutex":
 		sys, err = bench.InductBurns(explore.Options{Workers: cfg.explore.Workers, Limit: cfg.explore.Limit})
 	case "lamport":
-		sys, err = bench.InductLamport(cfg.nUsers, 2, 1)
+		n := cfg.nUsers
+		if !cfg.usersSet {
+			// The candidate domain grows ~10^5-fold per extra process
+			// (the 3-process space is ~10^13 states); walk the
+			// certified 2-process domain unless -users was explicit.
+			n = 2
+		}
+		rec.Users = n
+		sys, err = bench.InductLamport(n, 2, 1)
 	default:
 		return fmt.Errorf("-induct applies to arbiter1, dijkstra, ring, mutex, and lamport, not %q", cfg.system)
 	}
@@ -407,9 +535,16 @@ func inductRun(cfg config, prof faults.Profile, o *obs.Obs, out io.Writer) error
 	if err != nil {
 		return err
 	}
+	rec.Domain = cert.Domain
+	rec.States = cert.DomainStates
+	rec.Obligations = make([]ledger.Obligation, len(cert.Obligations))
+	for i, ob := range cert.Obligations {
+		rec.Obligations[i] = ledger.Obligation{Conjunct: ob.Conjunct, Discharged: ob.Discharged}
+	}
 	fmt.Fprintln(out, cert)
 	if cert.CTI != nil {
 		fmt.Fprintln(out, cert.CTI)
+		rec.Detail = cert.CTI.String()
 		return fmt.Errorf("%s is not inductive for %s over domain %q", cert.Invariant, cert.Automaton, cert.Domain)
 	}
 	return nil
@@ -417,7 +552,7 @@ func inductRun(cfg config, prof faults.Profile, o *obs.Obs, out io.Writer) error
 
 // dispatch runs the selected mode: DOT export, reachability, or
 // simulation.
-func dispatch(cfg config, auto ioa.Automaton, o *obs.Obs, out io.Writer) error {
+func dispatch(cfg config, auto ioa.Automaton, o *obs.Obs, rec *ledger.Run, out io.Writer) error {
 	ctx := context.Background()
 	if cfg.dotOut {
 		eng := explore.New(explore.Options{Workers: 1, Limit: 4096, Obs: o})
@@ -435,6 +570,7 @@ func dispatch(cfg config, auto ioa.Automaton, o *obs.Obs, out io.Writer) error {
 			}
 			truncated = true
 		}
+		rec.States = int64(len(states))
 		fmt.Fprintf(out, "%s: %d reachable states", auto.Name(), len(states))
 		if truncated {
 			fmt.Fprintf(out, " (truncated at state budget; pass a larger -limit)\n")
@@ -466,6 +602,7 @@ func dispatch(cfg config, auto ioa.Automaton, o *obs.Obs, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	rec.States = int64(x.Len())
 	if cfg.jsonOut {
 		return writeJSON(out, x)
 	}

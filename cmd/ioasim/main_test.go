@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/explore"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 )
 
@@ -158,6 +159,122 @@ func TestRunSimWithObs(t *testing.T) {
 	}
 	if total != snap.Counters["sim.steps"] {
 		t.Errorf("class fires sum to %d, want sim.steps = %d", total, snap.Counters["sim.steps"])
+	}
+}
+
+// TestRunLedger is the run-ledger acceptance check: two runs append
+// into one journal — an induction certification (provenance record
+// with per-conjunct obligation counts) and a parallel reachability
+// walk (progress snapshots) — and Parse round-trips the whole file.
+func TestRunLedger(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	var out bytes.Buffer
+	cfg := config{
+		system: "dijkstra", nUsers: 3, induct: true,
+		faults: "none", policy: "rr", ledgerOut: path,
+		flags: map[string]string{"system": "dijkstra", "induct": "true"},
+	}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("induct run: %v", err)
+	}
+	cfg2 := config{
+		system: "arbiter1", nUsers: 3, reach: true,
+		explore: explore.Options{Workers: 2},
+		faults:  "none", policy: "rr", ledgerOut: path,
+	}
+	if err := run(cfg2, &out); err != nil {
+		t.Fatalf("reach run: %v", err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	entries, err := ledger.Parse(f)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var runs []ledger.Run
+	snapshots := 0
+	for _, e := range entries {
+		switch e.Kind {
+		case ledger.KindRun:
+			runs = append(runs, *e.Run)
+		case ledger.KindSnapshot:
+			snapshots++
+		}
+	}
+	if len(runs) != 2 {
+		t.Fatalf("journal holds %d run records, want 2 (appended, not truncated)", len(runs))
+	}
+	if snapshots < 2 {
+		t.Fatalf("journal holds %d progress snapshots, want >= 2", snapshots)
+	}
+
+	ind := runs[0]
+	if ind.Tool != "ioasim" || ind.Mode != "induct" || ind.System != "dijkstra" || ind.Verdict != "ok" {
+		t.Fatalf("induct provenance = %+v", ind)
+	}
+	if ind.States <= 0 || ind.Domain == "" || ind.WallNS < 0 {
+		t.Fatalf("induct provenance missing size/domain: %+v", ind)
+	}
+	if len(ind.Obligations) == 0 {
+		t.Fatalf("induct run journaled no per-conjunct obligations: %+v", ind)
+	}
+	for _, ob := range ind.Obligations {
+		if ob.Conjunct == "" || ob.Discharged <= 0 {
+			t.Fatalf("empty obligation row: %+v", ind.Obligations)
+		}
+	}
+	if ind.Flags["induct"] != "true" {
+		t.Fatalf("explicit flags not journaled: %+v", ind.Flags)
+	}
+
+	re := runs[1]
+	if re.Mode != "reach" || re.System != "arbiter1" || re.Verdict != "ok" || re.States <= 0 {
+		t.Fatalf("reach provenance = %+v", re)
+	}
+}
+
+// TestRunLedgerFailVerdict: a failing certification still journals its
+// record, with verdict fail and the CTI evidence in Detail.
+func TestRunLedgerFailVerdict(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	var out bytes.Buffer
+	// The LeLann ring is not self-stabilizing under crash-restart: the
+	// certifier exits non-zero by design.
+	cfg := config{
+		system: "ring", nUsers: 2, stabilize: true,
+		faults: "none", policy: "rr", ledgerOut: path,
+	}
+	err := run(cfg, &out)
+	if err == nil {
+		t.Fatal("ring stabilization unexpectedly certified")
+	}
+	f, ferr := os.Open(path)
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	defer f.Close()
+	entries, perr := ledger.Parse(f)
+	if perr != nil {
+		t.Fatalf("Parse: %v", perr)
+	}
+	var rec *ledger.Run
+	for _, e := range entries {
+		if e.Kind == ledger.KindRun {
+			rec = e.Run
+		}
+	}
+	if rec == nil {
+		t.Fatal("failing run journaled no provenance record")
+	}
+	if rec.Verdict != "fail" || rec.Detail == "" {
+		t.Fatalf("failing run journaled %+v, want verdict=fail with detail", rec)
+	}
+	if rec.Mode != "stabilize" || rec.States <= 0 {
+		t.Fatalf("stabilize provenance = %+v", rec)
 	}
 }
 

@@ -144,8 +144,34 @@ func storeGauges(o *obs.Obs, st *store.Store) {
 	if o == nil {
 		return
 	}
-	o.Store.Occupancy.Set(int64(st.Len()))
-	o.Store.ArenaBytes.Set(st.ArenaBytes())
+	s := st.Stats()
+	o.Store.Occupancy.Set(int64(s.States))
+	o.Store.ArenaBytes.Set(s.ArenaBytes)
+	o.Store.ArenaCapBytes.Set(s.ArenaCapBytes)
+}
+
+// seqProgressStride is how many expanded states separate progress
+// snapshots in the sequential sweeps (power of two; the check rides
+// the existing i&63 cancellation branch, so the hot path gains no new
+// comparison when observability is off).
+const seqProgressStride = 8192
+
+// emitSeqProgress publishes one sequential-sweep progress snapshot:
+// admitted states, the unexpanded suffix as the frontier, and the
+// store footprint. Raw counts only — the ledger derives rates.
+func emitSeqProgress(o *obs.Obs, admitted, expanded int, st *store.Store, done bool) {
+	if o == nil {
+		return
+	}
+	s := st.Stats()
+	o.EmitProgress(obs.Progress{
+		Phase:      "explore",
+		States:     int64(admitted),
+		Frontier:   int64(admitted - expanded),
+		Occupancy:  int64(s.States),
+		ArenaBytes: s.ArenaBytes,
+		Done:       done,
+	})
 }
 
 // ctxOr normalizes a nil context.
@@ -300,6 +326,9 @@ func (e *Engine) reachSeq(ctx context.Context, a ioa.Automaton) ([]ioa.State, er
 			if err := ctx.Err(); err != nil {
 				return order, err
 			}
+			if i&(seqProgressStride-1) == 0 && i > 0 {
+				emitSeqProgress(o, len(order), i, st, false)
+			}
 		}
 		s := order[i]
 		acts := scratch.step(a, s)
@@ -310,6 +339,7 @@ func (e *Engine) reachSeq(ctx context.Context, a ioa.Automaton) ([]ioa.State, er
 		for _, act := range acts {
 			if !ioa.VisitNext(a, s, act, yield) {
 				storeGauges(o, st)
+				emitSeqProgress(o, len(order), len(order), st, true)
 				return order, errLimit(a, limit)
 			}
 		}
@@ -318,6 +348,7 @@ func (e *Engine) reachSeq(ctx context.Context, a ioa.Automaton) ([]ioa.State, er
 	if o != nil {
 		o.Explore.States.Add(int64(len(order)))
 	}
+	emitSeqProgress(o, len(order), len(order), st, true)
 	return order, nil
 }
 
@@ -379,6 +410,9 @@ func (e *Engine) checkSeq(ctx context.Context, a ioa.Automaton, pred func(ioa.St
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			if i&(seqProgressStride-1) == 0 && i > 0 {
+				emitSeqProgress(o, len(nodes), i, st, false)
+			}
 		}
 		if !pred(nodes[i].state) {
 			return &Violation{State: nodes[i].state, Trace: witness(i)}, nil
@@ -403,5 +437,6 @@ func (e *Engine) checkSeq(ctx context.Context, a ioa.Automaton, pred func(ioa.St
 		}
 	}
 	storeGauges(o, st)
+	emitSeqProgress(o, len(nodes), len(nodes), st, true)
 	return nil, nil
 }

@@ -223,6 +223,7 @@ func (e *Engine) parallelExplore(ctx context.Context, a ioa.Automaton, pred func
 		storeGauges(o, gst)
 		if o != nil {
 			o.Explore.States.Add(int64(len(next)))
+			emitLevelProgress(o, gst, depth, len(states), len(level), false)
 		}
 		if pred != nil {
 			if v := checkLevel(a, states, crumbs, from, pred); v != nil {
@@ -240,7 +241,27 @@ func (e *Engine) parallelExplore(ctx context.Context, a ioa.Automaton, pred func
 		}
 	}
 	storeGauges(o, gst)
+	if o != nil {
+		emitLevelProgress(o, gst, 0, len(states), 0, true)
+	}
 	return states, nil, nil
+}
+
+// emitLevelProgress publishes one barrier progress snapshot: the
+// completed depth, total admitted states, the freshly interned
+// frontier, and the store footprint. Only called with o non-nil, from
+// the coordinator — the level barrier, so no worker races it.
+func emitLevelProgress(o *obs.Obs, gst *store.Store, depth, states, frontier int, done bool) {
+	s := gst.Stats()
+	o.EmitProgress(obs.Progress{
+		Phase:      "explore",
+		Depth:      int64(depth),
+		States:     int64(states),
+		Frontier:   int64(frontier),
+		Occupancy:  int64(s.States),
+		ArenaBytes: s.ArenaBytes,
+		Done:       done,
+	})
 }
 
 // expandLevel computes the candidate set of undiscovered successors of

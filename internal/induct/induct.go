@@ -178,6 +178,25 @@ type checker struct {
 	discharged []int64 // per-conjunct obligation counts
 	cert       *Certificate
 	cti        *CTI
+
+	o     *obs.Obs // progress sink; nil keeps the walk emission-free
+	total int64    // domain.Size when known, else 0
+}
+
+// inductProgressStride is how many domain states separate progress
+// snapshots in the streaming walk (power of two so the cadence check
+// is one mask).
+const inductProgressStride = 65536
+
+// emitProgress publishes one streaming-walk snapshot. Only called
+// with c.o non-nil.
+func (c *checker) emitProgress(done bool) {
+	c.o.EmitProgress(obs.Progress{
+		Phase:  "induct",
+		States: c.cert.DomainStates,
+		Total:  c.total,
+		Done:   done,
+	})
 }
 
 // Check certifies inv over dom by one-step induction. The returned
@@ -205,6 +224,10 @@ func Check(ctx context.Context, a ioa.Automaton, dom domain.Domain, inv *lattice
 		inputs:     a.Sig().Inputs().Sorted(),
 		discharged: make([]int64, inv.Len()),
 		cert:       &cert,
+		o:          opts.Obs,
+	}
+	if t := domain.Size(dom); t > 0 {
+		c.total = t
 	}
 	if cn, ok := dom.(domain.Container); ok {
 		c.contains = cn.Contains
@@ -238,6 +261,9 @@ func Check(ctx context.Context, a ioa.Automaton, dom domain.Domain, inv *lattice
 			return cert, err
 		}
 	}
+	if c.o != nil {
+		c.emitProgress(true)
+	}
 
 	cert.Obligations = make([]Obligation, inv.Len())
 	for i, l := range inv.Lemmas() {
@@ -260,6 +286,9 @@ func Check(ctx context.Context, a ioa.Automaton, dom domain.Domain, inv *lattice
 // visitState runs the inductive step for one domain state.
 func (c *checker) visitState(s ioa.State) error {
 	c.cert.DomainStates++
+	if c.o != nil && c.cert.DomainStates&(inductProgressStride-1) == 0 {
+		c.emitProgress(false)
+	}
 	if !c.inv.Holds(s) {
 		return nil // not a candidate: vacuous obligation
 	}

@@ -1,0 +1,34 @@
+package induct
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/obs"
+)
+
+// TestCheckProgressEmission: the streaming domain walk always emits a
+// final Done snapshot carrying the domain total (small domains never
+// reach the stride, so Done is the snapshot-count floor the ledger's
+// first-of-phase rule turns into ≥1 journaled line per walk).
+func TestCheckProgressEmission(t *testing.T) {
+	var snaps []obs.Progress
+	o := obs.New(nil)
+	o.Progress = func(p obs.Progress) { snaps = append(snaps, p) }
+	a := counter(t, func(v int) bool { return v < 5 })
+	cert, err := Check(context.Background(), a, explicitRange(0, 9), lattice.Conj("Inv", leq(5)), Options{Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("got %d snapshots over a 10-state domain, want exactly the final Done: %+v", len(snaps), snaps)
+	}
+	p := snaps[0]
+	if p.Phase != "induct" || !p.Done {
+		t.Fatalf("final snapshot %+v, want phase=induct done", p)
+	}
+	if p.States != cert.DomainStates || p.Total != 10 {
+		t.Fatalf("final snapshot %+v, want states=%d total=10", p, cert.DomainStates)
+	}
+}

@@ -1,0 +1,93 @@
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// progressView is the /debug/progress JSON payload.
+type progressView struct {
+	// Snapshot is the most recent progress reading; null before the
+	// first emission.
+	Snapshot *Snapshot `json:"snapshot"`
+	// SinceLastNS is the time since the last progress activity.
+	SinceLastNS int64 `json:"since_last_ns"`
+	// Entries is the journal length so far.
+	Entries int64 `json:"entries"`
+	// Err is the ledger's sticky write error, if any.
+	Err string `json:"err,omitempty"`
+}
+
+func (l *Ledger) view() progressView {
+	snap, activity := l.Last()
+	v := progressView{
+		Snapshot:    snap,
+		SinceLastNS: l.now().Sub(activity).Nanoseconds(),
+	}
+	l.mu.Lock()
+	v.Entries = l.seq
+	if l.err != nil {
+		v.Err = l.err.Error()
+	}
+	l.mu.Unlock()
+	return v
+}
+
+// Endpoints returns the live-progress handlers to mount on the obs
+// debug mux: /debug/progress (JSON) and /debug/progress/html (a
+// self-refreshing one-page view).
+func (l *Ledger) Endpoints() []obs.Endpoint {
+	return []obs.Endpoint{
+		{Pattern: "/debug/progress", Handler: http.HandlerFunc(l.serveJSON)},
+		{Pattern: "/debug/progress/html", Handler: http.HandlerFunc(l.serveHTML)},
+	}
+}
+
+func (l *Ledger) serveJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(l.view()); err != nil {
+		// The scraper hung up mid-response; there is no one left to
+		// report the failure to.
+		return
+	}
+}
+
+func (l *Ledger) serveHTML(w http.ResponseWriter, r *http.Request) {
+	v := l.view()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	body := "waiting for first snapshot"
+	if v.Snapshot != nil {
+		body = formatSnapshot(*v.Snapshot)
+	}
+	page := fmt.Sprintf(`<!DOCTYPE html>
+<html><head><meta http-equiv="refresh" content="1"><title>progress</title></head>
+<body style="font-family:monospace">
+<h3>run progress</h3>
+<p>%s</p>
+<p>last activity %s ago · %d journal entries</p>
+%s
+</body></html>
+`,
+		html.EscapeString(body),
+		time.Duration(v.SinceLastNS).Round(time.Millisecond),
+		v.Entries,
+		errLine(v.Err))
+	if _, err := w.Write([]byte(page)); err != nil {
+		// Scraper gone; nothing to do.
+		return
+	}
+}
+
+func errLine(msg string) string {
+	if msg == "" {
+		return ""
+	}
+	return "<p style=\"color:red\">ledger error: " + html.EscapeString(msg) + "</p>"
+}

@@ -1,0 +1,128 @@
+package ledger
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// A Watchdog turns silent hangs into journal evidence: when no
+// progress reading arrives within the window, it journals a stall
+// entry carrying a goroutine profile of the whole process, the last
+// snapshot seen, and the ring of recent entries — then keeps
+// watching, so a run that later unwedges still completes normally.
+//
+// Check is the testable core (drive it with the ledger's fake clock);
+// Start runs Check on a ticker for real runs.
+type Watchdog struct {
+	l      *Ledger
+	window time.Duration
+
+	mu       sync.Mutex
+	lastFire time.Time
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewWatchdog builds a watchdog over the ledger's progress activity.
+// The window must be positive.
+func (l *Ledger) NewWatchdog(window time.Duration) *Watchdog {
+	return &Watchdog{
+		l:      l,
+		window: window,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Check journals a stall entry if no progress reading has arrived
+// within the window, rate-limited to one firing per window so a long
+// stall produces a heartbeat of dumps rather than a flood. It reports
+// whether it fired.
+func (w *Watchdog) Check() bool {
+	last, activity := w.l.Last()
+	now := w.l.Now()
+	since := now.Sub(activity)
+	if since < w.window {
+		return false
+	}
+	w.mu.Lock()
+	if !w.lastFire.IsZero() && now.Sub(w.lastFire) < w.window {
+		w.mu.Unlock()
+		return false
+	}
+	w.lastFire = now
+	w.mu.Unlock()
+
+	stall := &Stall{
+		WindowNS:     w.window.Nanoseconds(),
+		SinceLastNS:  since.Nanoseconds(),
+		LastSnapshot: last,
+		Recent:       w.l.Recent(),
+		Goroutines:   goroutineProfile(),
+	}
+	w.l.mu.Lock()
+	w.l.appendLocked(Entry{Kind: KindStall, Stall: stall})
+	if w.l.echo != nil {
+		w.l.echoStallLocked(since)
+	}
+	w.l.mu.Unlock()
+	return true
+}
+
+func (l *Ledger) echoStallLocked(since time.Duration) {
+	// Writing under the ledger lock keeps echo lines ordered with the
+	// journal; echo writers are terminals or test buffers, not slow
+	// sinks.
+	if _, err := l.echo.Write([]byte("STALL: no progress for " + since.Round(time.Millisecond).String() + "; goroutine profile journaled\n")); err != nil {
+		if l.err == nil {
+			l.err = err
+		}
+	}
+}
+
+// goroutineProfile renders the process's goroutine stacks as text.
+func goroutineProfile() string {
+	p := pprof.Lookup("goroutine")
+	if p == nil {
+		return ""
+	}
+	var buf bytes.Buffer
+	if err := p.WriteTo(&buf, 1); err != nil {
+		return "goroutine profile unavailable: " + err.Error()
+	}
+	return buf.String()
+}
+
+// Start checks for stalls in the background, polling at a quarter of
+// the window. Stop it before closing the underlying writer.
+func (w *Watchdog) Start() {
+	interval := w.window / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				w.Check()
+			}
+		}
+	}()
+}
+
+// Stop halts the background checker and waits for it to exit. Safe to
+// call more than once; a Watchdog that was never Started must not be
+// Stopped.
+func (w *Watchdog) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}

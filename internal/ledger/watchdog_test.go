@@ -1,0 +1,123 @@
+package ledger
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestWatchdogFiresOnStall drives Check directly with the fake clock:
+// the testable core of the watchdog, no goroutines involved.
+func TestWatchdogFiresOnStall(t *testing.T) {
+	clk := newFakeClock()
+	var buf bytes.Buffer
+	var echo bytes.Buffer
+	l := New(&buf, Options{Now: clk.now, Echo: &echo})
+	l.OnProgress(obs.Progress{Phase: "explore", States: 7, Frontier: 3})
+
+	wd := l.NewWatchdog(time.Second)
+	if wd.Check() {
+		t.Fatal("watchdog fired with fresh progress")
+	}
+	clk.advance(1500 * time.Millisecond)
+	if !wd.Check() {
+		t.Fatal("watchdog did not fire after 1.5s of silence against a 1s window")
+	}
+	if !strings.Contains(echo.String(), "STALL: no progress for 1.5s") {
+		t.Fatalf("echo = %q", echo.String())
+	}
+
+	entries, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var stall *Stall
+	for _, e := range entries {
+		if e.Kind == KindStall {
+			stall = e.Stall
+		}
+	}
+	if stall == nil {
+		t.Fatalf("no stall entry journaled: %+v", entries)
+	}
+	if stall.WindowNS != time.Second.Nanoseconds() {
+		t.Fatalf("WindowNS = %d", stall.WindowNS)
+	}
+	if stall.SinceLastNS < time.Second.Nanoseconds() {
+		t.Fatalf("SinceLastNS = %d, want >= window", stall.SinceLastNS)
+	}
+	if stall.LastSnapshot == nil || stall.LastSnapshot.States != 7 {
+		t.Fatalf("LastSnapshot = %+v", stall.LastSnapshot)
+	}
+	if len(stall.Recent) == 0 || stall.Recent[0].Kind != KindSnapshot {
+		t.Fatalf("stall ring = %+v", stall.Recent)
+	}
+	if !strings.Contains(stall.Goroutines, "goroutine") {
+		t.Fatalf("goroutine profile missing: %q", stall.Goroutines)
+	}
+}
+
+// TestWatchdogRateLimit: one firing per window, then re-arms; fresh
+// progress resets the stall entirely.
+func TestWatchdogRateLimit(t *testing.T) {
+	clk := newFakeClock()
+	var buf bytes.Buffer
+	l := New(&buf, Options{Now: clk.now})
+	wd := l.NewWatchdog(time.Second)
+
+	clk.advance(2 * time.Second)
+	if !wd.Check() {
+		t.Fatal("first Check did not fire")
+	}
+	if wd.Check() {
+		t.Fatal("second immediate Check fired inside the rate-limit window")
+	}
+	clk.advance(time.Second)
+	if !wd.Check() {
+		t.Fatal("Check did not re-fire after the rate-limit window (stall heartbeat)")
+	}
+
+	l.OnProgress(obs.Progress{Phase: "explore", States: 1})
+	clk.advance(1500 * time.Millisecond)
+	if !wd.Check() {
+		t.Fatal("Check did not fire on a fresh stall after progress resumed")
+	}
+	clk.advance(500 * time.Millisecond)
+	l.OnProgress(obs.Progress{Phase: "explore", States: 2})
+	if wd.Check() {
+		t.Fatal("Check fired right after fresh progress")
+	}
+}
+
+// TestWatchdogStartStop exercises the background ticker against a
+// clock pinned past the window: the first tick fires, Stop joins the
+// goroutine, and double-Stop is safe.
+func TestWatchdogStartStop(t *testing.T) {
+	clk := newFakeClock()
+	l := New(&bytes.Buffer{}, Options{Now: clk.now})
+	clk.advance(time.Hour) // already stalled when the ticker starts
+
+	wd := l.NewWatchdog(40 * time.Millisecond)
+	wd.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	fired := false
+	for time.Now().Before(deadline) {
+		for _, e := range l.Recent() {
+			if e.Kind == KindStall {
+				fired = true
+			}
+		}
+		if fired {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	wd.Stop()
+	wd.Stop() // idempotent
+	if !fired {
+		t.Fatal("background watchdog never journaled a stall")
+	}
+}

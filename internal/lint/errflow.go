@@ -24,11 +24,13 @@ func init() { Register(errflow{}) }
 func (errflow) Name() string { return "errflow" }
 
 func (errflow) Doc() string {
-	return "discarded error returns in internal/proof and internal/explore"
+	return "discarded error returns in internal/proof, internal/explore, and internal/ledger"
 }
 
 // errflowPkgs are the internal path segments the analyzer covers.
-var errflowPkgs = map[string]bool{"proof": true, "explore": true}
+// The ledger is in scope because a silently dropped journal write
+// deletes the provenance trail the package exists to keep.
+var errflowPkgs = map[string]bool{"proof": true, "explore": true, "ledger": true}
 
 func (errflow) Run(p *Pass) {
 	if !errflowPkgs[internalSegment(p.Pkg.Path)] {

@@ -31,6 +31,8 @@ var fixtureCases = []struct {
 	{"obsneg", "repro/fixture/obsneg", "lockcopy"},
 	{"errflowpos", "repro/internal/proof/errflowpos", "errflow"},
 	{"errflowneg", "repro/internal/proof/errflowneg", "errflow"},
+	{"errflowledgerpos", "repro/internal/ledger/errflowledgerpos", "errflow"},
+	{"errflowledgerneg", "repro/internal/ledger/errflowledgerneg", "errflow"},
 	{"invpurepos", "repro/fixture/invpurepos", "invpure"},
 	{"invpureneg", "repro/fixture/invpureneg", "invpure"},
 }

@@ -1,0 +1,35 @@
+// Package errflowledgerneg is the clean counterpart: every journal
+// error is either propagated, made sticky the way the ledger does it,
+// or written into an in-memory buffer whose writes cannot fail. The
+// golden test loads it under repro/internal/ledger/errflowledgerneg
+// and expects zero diagnostics.
+package errflowledgerneg
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+)
+
+type journal struct {
+	w   io.Writer
+	err error
+}
+
+// append makes the first write error sticky instead of dropping it —
+// the ledger's convention for mid-run journal failures.
+func (j *journal) append(line []byte) {
+	if j.err != nil {
+		return
+	}
+	if _, err := j.w.Write(line); err != nil {
+		j.err = fmt.Errorf("journal: %w", err)
+	}
+}
+
+func (j *journal) render() string {
+	var b bytes.Buffer
+	b.Write([]byte("entry"))      // Buffer writes cannot fail
+	fmt.Fprintf(&b, " seq=%d", 1) // Fprintf into memory cannot fail
+	return b.String()
+}

@@ -1,0 +1,34 @@
+// Package errflowledgerpos discards errors in the shapes a run-ledger
+// writer produces them: journal line writes, JSON encodes, and file
+// closes on the flush path. The golden test loads it under the
+// synthetic path repro/internal/ledger/errflowledgerpos so the ledger
+// scoping of the errflow analyzer applies — a silently dropped
+// journal write deletes the provenance trail.
+package errflowledgerpos
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+)
+
+type journal struct {
+	w io.Writer
+}
+
+func (j *journal) append(line []byte) error {
+	_, err := j.w.Write(line)
+	return err
+}
+
+type closer struct{}
+
+func (closer) Close() error { return errors.New("flush lost") }
+
+func (j *journal) record(enc *json.Encoder, v any, c closer) {
+	j.append(nil)         // want "result of append includes an error that is discarded"
+	enc.Encode(v)         // want "result of Encode includes an error that is discarded"
+	defer c.Close()       // want "result of Close includes an error that is discarded"
+	_ = j.append(nil)     // want "error assigned to _"
+	_, _ = j.w.Write(nil) // want "error assigned to _"
+}

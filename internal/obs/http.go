@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -9,14 +10,31 @@ import (
 	"time"
 )
 
+// An Endpoint is an extra handler mounted on the debug mux by Serve.
+// Pattern follows http.ServeMux syntax (e.g. "/debug/progress").
+type Endpoint struct {
+	Pattern string
+	Handler http.Handler
+}
+
+// drainTimeout bounds how long Serve's shutdown function waits for
+// in-flight scrapes (a /debug/pprof/profile capture, a half-written
+// /debug/vars response) to finish before forcibly closing.
+const drainTimeout = 5 * time.Second
+
 // Serve starts the live debug endpoint on addr (e.g. ":6060"):
 // /debug/vars (expvar, including any snapshot published with
-// PublishExpvar) and /debug/pprof/... (CPU, heap, goroutine, and
-// execution-trace profiles). It returns the bound address — useful
-// with ":0" — and a shutdown function. The server runs on its own
-// mux, so importing this package never pollutes
-// http.DefaultServeMux.
-func Serve(addr string) (string, func() error, error) {
+// PublishExpvar), /debug/pprof/... (CPU, heap, goroutine, and
+// execution-trace profiles), /debug/healthz (liveness probe: 200 "ok"
+// while the server accepts requests), plus any extra endpoints the
+// caller mounts (e.g. the ledger's /debug/progress). It returns the
+// bound address — useful with ":0" — and a shutdown function. The
+// shutdown function drains gracefully: it stops accepting new
+// connections, waits up to drainTimeout for in-flight requests to
+// complete, and only then forces remaining connections closed. The
+// server runs on its own mux, so importing this package never
+// pollutes http.DefaultServeMux.
+func Serve(addr string, extra ...Endpoint) (string, func() error, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -24,6 +42,17 @@ func Serve(addr string) (string, func() error, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write([]byte("ok\n")); err != nil {
+			// The scraper hung up mid-probe; nothing to report to.
+			return
+		}
+	})
+	for _, e := range extra {
+		mux.Handle(e.Pattern, e.Handler)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -32,13 +61,20 @@ func Serve(addr string) (string, func() error, error) {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	stop := func() error {
-		if err := srv.Close(); err != nil {
-			return err
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if err != nil {
+			// The drain deadline expired with requests still in
+			// flight; sever them so stop cannot hang.
+			if cerr := srv.Close(); err == context.DeadlineExceeded && cerr != nil {
+				err = cerr
+			}
 		}
-		if err := <-errc; err != nil && err != http.ErrServerClosed {
-			return err
+		if serr := <-errc; serr != nil && serr != http.ErrServerClosed {
+			return serr
 		}
-		return nil
+		return err
 	}
 	return ln.Addr().String(), stop, nil
 }

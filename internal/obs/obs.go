@@ -47,6 +47,14 @@ type Obs struct {
 	Stabilize *StabilizeMetrics
 	Induct    *InductMetrics
 
+	// Progress, when non-nil, receives in-flight Progress snapshots
+	// from the engines (BFS barriers, the induct streaming loop).
+	// Engines call EmitProgress rather than this field directly so the
+	// nil-Obs fast path stays a single comparison. Set it before the
+	// run starts; it may be called from whichever goroutine drives the
+	// walk, so sinks must be internally synchronized.
+	Progress func(Progress)
+
 	clock func() time.Time
 }
 
@@ -221,12 +229,16 @@ type StoreMetrics struct {
 	Occupancy *Gauge
 	// ArenaBytes is the total encoded payload across shard arenas.
 	ArenaBytes *Gauge
+	// ArenaCapBytes is the total reserved arena capacity; the slack
+	// over ArenaBytes is append-growth overshoot.
+	ArenaCapBytes *Gauge
 }
 
 func newStoreMetrics(r *Registry) *StoreMetrics {
 	return &StoreMetrics{
-		Occupancy:  r.Gauge("store.occupancy"),
-		ArenaBytes: r.Gauge("store.arena_bytes"),
+		Occupancy:     r.Gauge("store.occupancy"),
+		ArenaBytes:    r.Gauge("store.arena_bytes"),
+		ArenaCapBytes: r.Gauge("store.arena_cap_bytes"),
 	}
 }
 

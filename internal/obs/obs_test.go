@@ -2,6 +2,7 @@ package obs
 
 import (
 	"expvar"
+	"io"
 	"net/http"
 	"strings"
 	"testing"
@@ -95,7 +96,7 @@ func TestServe(t *testing.T) {
 			t.Errorf("stop: %v", err)
 		}
 	}()
-	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+	for _, path := range []string{"/debug/vars", "/debug/pprof/", "/debug/healthz"} {
 		resp, err := http.Get("http://" + addr + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
@@ -104,5 +105,85 @@ func TestServe(t *testing.T) {
 			t.Errorf("GET %s: status %d", path, resp.StatusCode)
 		}
 		resp.Body.Close()
+	}
+}
+
+func TestServeHealthzAndExtraEndpoints(t *testing.T) {
+	extra := Endpoint{
+		Pattern: "/debug/extra",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if _, err := io.WriteString(w, "extra-ok"); err != nil {
+				return
+			}
+		}),
+	}
+	addr, stop, err := Serve("127.0.0.1:0", extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := stop(); err != nil {
+			t.Errorf("stop: %v", err)
+		}
+	}()
+	for path, want := range map[string]string{"/debug/healthz": "ok\n", "/debug/extra": "extra-ok"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		if string(body) != want {
+			t.Errorf("GET %s = %q, want %q", path, body, want)
+		}
+	}
+}
+
+// TestServeDrainsInFlight: stop() waits for an in-flight request to
+// complete (up to the drain deadline) instead of cutting it off.
+func TestServeDrainsInFlight(t *testing.T) {
+	started := make(chan struct{})
+	slow := Endpoint{
+		Pattern: "/debug/slow",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			close(started)
+			time.Sleep(200 * time.Millisecond)
+			if _, err := io.WriteString(w, "drained"); err != nil {
+				return
+			}
+		}),
+	}
+	addr, stop, err := Serve("127.0.0.1:0", slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/debug/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- result{body: string(body), err: err}
+	}()
+	<-started
+	if err := stop(); err != nil {
+		t.Fatalf("stop during in-flight request: %v", err)
+	}
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight request failed across shutdown: %v", r.err)
+	}
+	if r.body != "drained" {
+		t.Fatalf("in-flight response = %q, want %q", r.body, "drained")
 	}
 }

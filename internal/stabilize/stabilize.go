@@ -264,6 +264,12 @@ func Certify(ctx context.Context, a ioa.Automaton, legit func(ioa.State) bool, e
 	if err != nil {
 		return nil, err
 	}
+	// The closure Reach above emits "explore" progress through the
+	// engine; mark the certifier's own phase transitions so a ledger
+	// shows closure → rounds-analysis → verdict.
+	if o := opts.Obs; o != nil {
+		o.EmitProgress(obs.Progress{Phase: "stabilize", States: int64(len(states)), Frontier: int64(nEnv)})
+	}
 
 	cert := &Certificate{
 		Automaton:      a.Name(),
@@ -327,6 +333,7 @@ closure:
 				o.Stabilize.Rounds.Observe(int64(r))
 			}
 		}
+		o.EmitProgress(obs.Progress{Phase: "stabilize", States: int64(cert.States), Done: true})
 	}
 	return cert, nil
 }

@@ -171,19 +171,40 @@ func (st *Store) ArenaBytes() int64 {
 	return n
 }
 
+// ArenaCapBytes returns the total reserved capacity across all shard
+// arenas. The gap to ArenaBytes is append-growth overshoot: memory
+// the process holds but no state occupies yet. Progress snapshots and
+// the store.arena_cap_bytes gauge report it so long walks show their
+// real footprint, not just the payload.
+func (st *Store) ArenaCapBytes() int64 {
+	var n int64
+	for i := range st.shards {
+		n += int64(cap(st.shards[i].arena))
+	}
+	return n
+}
+
 // Stats is a point-in-time summary of a store's occupancy.
 type Stats struct {
 	// States is the number of interned states (dense ID space size).
 	States int
 	// ArenaBytes is the total encoded payload across shards.
 	ArenaBytes int64
+	// ArenaCapBytes is the total reserved arena capacity; the slack
+	// over ArenaBytes is growth overshoot.
+	ArenaCapBytes int64
 	// Shards is the shard count.
 	Shards int
 }
 
 // Stats summarizes the store.
 func (st *Store) Stats() Stats {
-	return Stats{States: st.Len(), ArenaBytes: st.ArenaBytes(), Shards: len(st.shards)}
+	return Stats{
+		States:        st.Len(),
+		ArenaBytes:    st.ArenaBytes(),
+		ArenaCapBytes: st.ArenaCapBytes(),
+		Shards:        len(st.shards),
+	}
 }
 
 // Encoding returns the interned encoding of id as a view into the
