@@ -7,6 +7,7 @@ package repro
 // same series §3.4 reports.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -260,7 +261,7 @@ func BenchmarkReachabilityA3(b *testing.B) {
 	var states []ioa.State
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		states, err = explore.Reach(sys.A3, 1<<20)
+		states, err = explore.New(explore.Options{Workers: 1, Limit: 1 << 20}).Reach(context.Background(), sys.A3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -279,7 +280,7 @@ func BenchmarkDecomposition(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := explore.Behaviors(composed, 4); err != nil {
+		if _, err := explore.New(explore.Options{Workers: 1}).Behaviors(context.Background(), composed, 4); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,32 +4,33 @@
 // combined-message ablation, and the comparison against the [LF81]
 // round-robin and tournament arbiters.
 //
-// It also measures the exploration engine itself: the -explore sweep
-// times sequential (cached and uncached) against parallel sharded
-// reachability on the closed arbiter levels 1–3 and can emit the rows
-// as JSON (BENCH_explore.json) with -explore-out. The -store-bench
-// sweep (E18) times the PR-4 string-keyed reference explorer against
-// the interned store-backed engine, sequential and parallel, emitted
-// as JSON (BENCH_store.json) with -store-bench-out. The -obs-bench
-// sweep prices the observability layer (E17): parallel reachability
-// with observability off (the nil fast path) versus fully on, emitted
-// as JSON (BENCH_obs.json) with -obs-bench-out. -obs-addr serves live
-// expvar and pprof endpoints for the duration of any run.
+// It also runs the registered measurement sweeps (bench.Sweeps): one
+// `-sweep <name>` flag selects a sweep by registry name and
+// `-sweep-out <file>` writes its rows as the canonical JSON artifact.
+// Registered sweeps: explore (E15, BENCH_explore.json), store (E18),
+// obs (E17), stabilize (E19), reduction (E20), induct (E21), and dist
+// (E23, BENCH_dist.json — the grid census measured in-RAM, through
+// the disk-spilling store, and across the multi-process cluster). The
+// pre-registry flag triples (-explore/-explore-out, -store-bench/...,
+// -obs-bench/..., -stabilize-bench/..., -reduction/...,
+// -induct-bench/...) survive one release as deprecated aliases for
+// the same sweeps. -obs-addr serves live expvar and pprof endpoints
+// for the duration of any run.
 //
-// The exploration knobs (-workers, -limit, -dedup) are the shared set
-// registered by explore.BindFlags — identical flags and defaults in
-// ioasim. -workers also sizes the chaos sweep's per-state safety pool.
+// The exploration knobs (-workers, -limit, -dedup, -spill-dir,
+// -dist-*) are the shared set registered by explore.BindFlags —
+// identical flags and defaults in ioasim (the -dist-* cluster flags
+// act only in ioasim, which hosts the coordinator/worker modes).
+// -workers also sizes the chaos sweep's per-state safety pool.
 //
 // Usage:
 //
 //	arbiterbench [-b bound] [-seed n] [-max n] [-quick]
 //	             [-workers n] [-limit n] [-dedup]
-//	             [-explore] [-explore-users n] [-explore-out file]
-//	             [-store-bench] [-store-users n] [-store-bench-out file]
-//	             [-obs-bench] [-obs-users n] [-obs-bench-out file]
-//	             [-stabilize-bench] [-stabilize-sizes n] [-stabilize-out file]
-//	             [-reduction] [-reduction-out file]
-//	             [-induct-bench] [-induct-out file]
+//	             [-sweep explore|store|obs|stabilize|reduction|induct|dist]
+//	             [-sweep-out file]
+//	             [-explore-users n] [-store-users n] [-obs-users n]
+//	             [-stabilize-sizes n]
 //	             [-chaos] [-recover-within k]
 //	             [-bench-gate] [-gate-dir d] [-gate-threshold x] [-gate-handicap m]
 //	             [-obs-addr host:port] [-ledger-out file]
@@ -107,22 +108,24 @@ func main() {
 		maxN         = flag.Int("max", 64, "largest user count in sweeps")
 		quick        = flag.Bool("quick", false, "small sweep for smoke testing")
 		ex           = explore.BindFlags(flag.CommandLine)
-		exploreRun   = flag.Bool("explore", false, "run the serial-vs-parallel reachability sweep and exit")
-		exploreUsers = flag.Int("explore-users", 6, "users per arbiter instance in the -explore sweep")
-		exploreOut   = flag.String("explore-out", "", "write -explore rows as JSON to this file")
-		storeBench   = flag.Bool("store-bench", false, "run the reference-vs-interned-store sweep and exit")
-		storeUsers   = flag.Int("store-users", 6, "users per arbiter instance in the -store-bench sweep")
-		storeOut     = flag.String("store-bench-out", "", "write -store-bench rows as JSON to this file")
-		obsBench     = flag.Bool("obs-bench", false, "run the observability-overhead sweep and exit")
-		obsUsers     = flag.Int("obs-users", 6, "users per arbiter instance in the -obs-bench sweep")
-		obsOut       = flag.String("obs-bench-out", "", "write -obs-bench rows as JSON to this file")
-		stabBench    = flag.Bool("stabilize-bench", false, "run the self-stabilization certification sweep and exit")
-		stabSizes    = flag.Int("stabilize-sizes", 4, "largest Dijkstra ring size in the -stabilize-bench sweep")
-		stabOut      = flag.String("stabilize-out", "", "write -stabilize-bench rows as JSON to this file")
-		reduction    = flag.Bool("reduction", false, "run the symmetry/POR reduction sweep and exit")
-		reductionOut = flag.String("reduction-out", "", "write -reduction rows as JSON to this file")
-		inductBench  = flag.Bool("induct-bench", false, "run the inductive-certification sweep and exit")
-		inductOut    = flag.String("induct-out", "", "write -induct-bench rows as JSON to this file")
+		sweepName    = flag.String("sweep", "", "run one registered sweep by name and exit (see bench.Sweeps)")
+		sweepOut     = flag.String("sweep-out", "", "write the -sweep rows as JSON to this file")
+		exploreRun   = flag.Bool("explore", false, "deprecated: alias for -sweep explore")
+		exploreUsers = flag.Int("explore-users", 6, "users per arbiter instance in the explore sweep")
+		exploreOut   = flag.String("explore-out", "", "deprecated: alias for -sweep-out (explore sweep)")
+		storeBench   = flag.Bool("store-bench", false, "deprecated: alias for -sweep store")
+		storeUsers   = flag.Int("store-users", 6, "users per arbiter instance in the store sweep")
+		storeOut     = flag.String("store-bench-out", "", "deprecated: alias for -sweep-out (store sweep)")
+		obsBench     = flag.Bool("obs-bench", false, "deprecated: alias for -sweep obs")
+		obsUsers     = flag.Int("obs-users", 6, "users per arbiter instance in the obs sweep")
+		obsOut       = flag.String("obs-bench-out", "", "deprecated: alias for -sweep-out (obs sweep)")
+		stabBench    = flag.Bool("stabilize-bench", false, "deprecated: alias for -sweep stabilize")
+		stabSizes    = flag.Int("stabilize-sizes", 4, "largest Dijkstra ring size in the stabilize sweep")
+		stabOut      = flag.String("stabilize-out", "", "deprecated: alias for -sweep-out (stabilize sweep)")
+		reduction    = flag.Bool("reduction", false, "deprecated: alias for -sweep reduction")
+		reductionOut = flag.String("reduction-out", "", "deprecated: alias for -sweep-out (reduction sweep)")
+		inductBench  = flag.Bool("induct-bench", false, "deprecated: alias for -sweep induct")
+		inductOut    = flag.String("induct-out", "", "deprecated: alias for -sweep-out (induct sweep)")
 		chaosOnly    = flag.Bool("chaos", false, "run only the chaos sweep; exit non-zero if a fault-free cell fails recovery")
 		recoverIn    = flag.Int("recover-within", 60, "chaos recovery window k in states/steps (0 disables the criterion)")
 		obsAddr      = flag.String("obs-addr", "", "serve live expvar + pprof debug endpoints on this address (e.g. :6060)")
@@ -205,101 +208,68 @@ func main() {
 		return
 	}
 
-	if *obsBench {
-		rows, err := bench.ObsSweep(bench.ObsConfig{Users: *obsUsers, Workers: 2, Reps: 3})
-		if err != nil {
-			log.Fatalf("obs sweep: %v", err)
+	// Resolve the deprecated per-sweep flag triples onto the registry
+	// surface; -sweep/-sweep-out win when both are given.
+	name, out := *sweepName, *sweepOut
+	for _, a := range []struct {
+		set        bool
+		flag, name string
+		out        string
+	}{
+		{*exploreRun, "explore", "explore", *exploreOut},
+		{*storeBench, "store-bench", "store", *storeOut},
+		{*obsBench, "obs-bench", "obs", *obsOut},
+		{*stabBench, "stabilize-bench", "stabilize", *stabOut},
+		{*reduction, "reduction", "reduction", *reductionOut},
+		{*inductBench, "induct-bench", "induct", *inductOut},
+	} {
+		if !a.set {
+			continue
 		}
-		bench.PrintObs(os.Stdout, rows)
-		if *obsOut != "" {
-			f, err := os.Create(*obsOut)
-			if err != nil {
-				log.Fatalf("obs out: %v", err)
-			}
-			if err := bench.WriteObsJSON(f, rows); err != nil {
-				log.Fatalf("obs out: %v", err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatalf("obs out: %v", err)
-			}
+		log.Printf("-%s is deprecated; use -sweep %s", a.flag, a.name)
+		if name == "" {
+			name = a.name
 		}
-		record("obs-bench", 0, "ok", fmt.Sprintf("%d rows", len(rows)), *obsOut)
-		return
+		if out == "" {
+			out = a.out
+		}
 	}
 
-	if *stabBench {
-		var sizes []int
-		for n := 3; n <= *stabSizes; n++ {
-			sizes = append(sizes, n)
-		}
-		rows, err := bench.StabilizeSweep(bench.StabilizeConfig{Sizes: sizes, Workers: ex.Workers(), Limit: ex.Limit(), Reps: 3})
+	if name != "" {
+		sw, err := bench.FindSweep(name)
 		if err != nil {
-			log.Fatalf("stabilize sweep: %v", err)
+			log.Fatal(err)
 		}
-		bench.PrintStabilize(os.Stdout, rows)
-		if *stabOut != "" {
-			f, err := os.Create(*stabOut)
+		users := 0
+		switch name {
+		case "explore":
+			users = *exploreUsers
+		case "store":
+			users = *storeUsers
+		case "obs":
+			users = *obsUsers
+		}
+		rows, n, err := sw.Run(bench.SweepConfig{
+			Users: users, Sizes: *stabSizes,
+			Workers: ex.Workers(), Limit: ex.Limit(), Quick: *quick,
+		})
+		if err != nil {
+			record("sweep-"+name, 0, "fail", err.Error())
+			log.Fatalf("%s sweep: %v", name, err)
+		}
+		if out != "" {
+			f, err := os.Create(out)
 			if err != nil {
-				log.Fatalf("stabilize out: %v", err)
+				log.Fatalf("%s out: %v", name, err)
 			}
-			if err := bench.WriteStabilizeJSON(f, rows); err != nil {
-				log.Fatalf("stabilize out: %v", err)
+			if err := bench.WriteSweepJSON(f, rows); err != nil {
+				log.Fatalf("%s out: %v", name, err)
 			}
 			if err := f.Close(); err != nil {
-				log.Fatalf("stabilize out: %v", err)
+				log.Fatalf("%s out: %v", name, err)
 			}
 		}
-		record("stabilize-bench", 0, "ok", fmt.Sprintf("%d rows", len(rows)), *stabOut)
-		return
-	}
-
-	if *reduction {
-		cfg := bench.ReductionConfig{Workers: ex.Workers(), Limit: ex.Limit()}
-		if *quick {
-			cfg.SpecUsers = []int{3}
-			cfg.TreeUsers = []int{3}
-			cfg.StarUsers = []int{4}
-		}
-		rows, err := bench.ReductionSweep(cfg)
-		if err != nil {
-			log.Fatalf("reduction sweep: %v", err)
-		}
-		bench.PrintReduction(os.Stdout, rows)
-		if *reductionOut != "" {
-			f, err := os.Create(*reductionOut)
-			if err != nil {
-				log.Fatalf("reduction out: %v", err)
-			}
-			if err := bench.WriteReductionJSON(f, rows); err != nil {
-				log.Fatalf("reduction out: %v", err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatalf("reduction out: %v", err)
-			}
-		}
-		record("reduction", 0, "ok", fmt.Sprintf("%d rows", len(rows)), *reductionOut)
-		return
-	}
-
-	if *inductBench {
-		rows, err := bench.InductSweep(bench.InductConfig{Workers: ex.Workers(), Limit: ex.Limit(), Reps: 3, Quick: *quick})
-		if err != nil {
-			log.Fatalf("induct sweep: %v", err)
-		}
-		bench.PrintInduct(os.Stdout, rows)
-		if *inductOut != "" {
-			f, err := os.Create(*inductOut)
-			if err != nil {
-				log.Fatalf("induct out: %v", err)
-			}
-			if err := bench.WriteInductJSON(f, rows); err != nil {
-				log.Fatalf("induct out: %v", err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatalf("induct out: %v", err)
-			}
-		}
-		record("induct-bench", 0, "ok", fmt.Sprintf("%d rows", len(rows)), *inductOut)
+		record("sweep-"+name, int64(n), "ok", fmt.Sprintf("%d rows", n), out)
 		return
 	}
 
@@ -309,54 +279,6 @@ func main() {
 			log.Fatalf("chaos sweep: %v", err)
 		}
 		record("chaos", 0, "ok", "")
-		return
-	}
-
-	if *storeBench {
-		var ws []int
-		if w := ex.Workers(); w > 1 {
-			ws = []int{w}
-		}
-		rows, err := bench.StoreSweep(bench.StoreConfig{Users: *storeUsers, Limit: ex.Limit(), Workers: ws, Reps: 3})
-		if err != nil {
-			log.Fatalf("store sweep: %v", err)
-		}
-		bench.PrintStore(os.Stdout, rows)
-		if *storeOut != "" {
-			f, err := os.Create(*storeOut)
-			if err != nil {
-				log.Fatalf("store out: %v", err)
-			}
-			if err := bench.WriteStoreJSON(f, rows); err != nil {
-				log.Fatalf("store out: %v", err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatalf("store out: %v", err)
-			}
-		}
-		record("store-bench", 0, "ok", fmt.Sprintf("%d rows", len(rows)), *storeOut)
-		return
-	}
-
-	if *exploreRun {
-		rows, err := bench.ExploreSweep(bench.ExploreConfig{Users: *exploreUsers, Reps: 3})
-		if err != nil {
-			log.Fatalf("explore sweep: %v", err)
-		}
-		bench.PrintExplore(os.Stdout, rows)
-		if *exploreOut != "" {
-			f, err := os.Create(*exploreOut)
-			if err != nil {
-				log.Fatalf("explore out: %v", err)
-			}
-			if err := bench.WriteExploreJSON(f, rows); err != nil {
-				log.Fatalf("explore out: %v", err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatalf("explore out: %v", err)
-			}
-		}
-		record("explore", 0, "ok", fmt.Sprintf("%d rows", len(rows)), *exploreOut)
 		return
 	}
 

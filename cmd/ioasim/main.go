@@ -5,16 +5,42 @@
 //
 // Usage:
 //
-//	ioasim -system fig21|fig22|fig23c|arbiter1|arbiter2|arbiter3|arbiter3r|star|ring|mutex|dijkstra|lamport
+//	ioasim -system fig21|fig22|fig23c|arbiter1|arbiter2|arbiter3|arbiter3r|star|ring|mutex|dijkstra|lamport|grid
 //	       [-steps n] [-policy rr|random] [-seed n] [-users n]
+//	       [-grid-base m] [-grid-digits k]
 //	       [-faults drop=0.1,dup=0.05,delay=3] [-fault-seed n]
 //	       [-trace] [-json] [-dot] [-reach] [-stabilize] [-induct]
 //	       [-workers n] [-limit n] [-dedup]
+//	       [-spill-dir dir] [-spill-mem-mb n]
+//	       [-dist-listen host:port -dist-workers n [-dist-spawn]]
+//	       [-dist-join host:port [-dist-corrupt]]
 //	       [-obs-addr host:port] [-trace-out file] [-metrics-out file]
 //	       [-ledger-out file] [-progress] [-stall-after d]
 //
 // The -reach flag explores the system's reachable state space instead
 // of simulating it, reporting the state count and deadlocks.
+//
+// External memory: -spill-dir backs the seen set with the disk-
+// spilling store (delta-encoded sorted runs under the directory),
+// keeping at most -spill-mem-mb MiB of interned keys resident. For
+// systems with a canonical decodable encoding (grid), -reach
+// -spill-dir runs the external census — frontier and seen set both on
+// disk — so state spaces far beyond RAM complete under a fixed budget
+// (EXPERIMENTS.md E23 walks the 10⁸-state grid this way). The grid
+// system is the scale harness: a k-digit base-m counter (-grid-base,
+// -grid-digits) with closed-form state count m^k, depth k·(m-1), and
+// exactly one deadlock, so huge runs are checkable.
+//
+// Distributed exploration: -dist-listen starts a coordinator that
+// shards the interned key space across -dist-workers OS processes
+// (owner = hash(encoding) mod procs) with level-synchronized barriers;
+// counts and verdicts are bit-identical at any process count.
+// -dist-spawn makes the coordinator fork the workers from its own
+// binary; otherwise start each worker by hand with -dist-join
+// host:port and the same -system flags. Workers verify every received
+// candidate actually belongs to their shard, so a corrupted shard
+// assignment (-dist-corrupt, the CI must-fail probe) aborts the
+// cluster rather than silently double-counting.
 //
 // The -induct flag certifies the system's safety invariant by one-step
 // induction instead of exploring: every start state must satisfy the
@@ -95,7 +121,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"os"
+	"os/exec"
+	"strings"
 	"time"
 
 	"repro/internal/arbiter/dist"
@@ -103,11 +132,13 @@ import (
 	"repro/internal/arbiter/spec"
 	"repro/internal/arbiter/users"
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/domain"
 	"repro/internal/explore"
 	"repro/internal/faults"
 	"repro/internal/figures"
 	"repro/internal/graph"
+	"repro/internal/grid"
 	"repro/internal/induct"
 	"repro/internal/ioa"
 	"repro/internal/ledger"
@@ -141,6 +172,14 @@ type config struct {
 	por       bool
 	explore   explore.Options
 
+	gridM, gridK int
+
+	distListen  string
+	distWorkers int
+	distJoin    string
+	distSpawn   bool
+	distCorrupt bool
+
 	obsAddr    string
 	traceOut   string
 	metricsOut string
@@ -166,6 +205,8 @@ func main() {
 	flag.StringVar(&cfg.policy, "policy", "rr", "scheduling policy: rr or random")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for the random policy")
 	flag.IntVar(&cfg.nUsers, "users", 3, "number of users (arbiter systems)")
+	flag.IntVar(&cfg.gridM, "grid-base", 10, "digit base m of the grid scale harness (m^k states)")
+	flag.IntVar(&cfg.gridK, "grid-digits", 8, "digit count k of the grid scale harness")
 	flag.BoolVar(&cfg.trace, "trace", false, "print the full step trace")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the trace as JSON events on stdout")
 	flag.BoolVar(&cfg.dotOut, "dot", false, "emit the reachable state graph in Graphviz DOT format and exit")
@@ -185,6 +226,11 @@ func main() {
 	cfg.explore = ex.Options(nil, nil)
 	cfg.symmetry = ex.Symmetry()
 	cfg.por = ex.POR()
+	cfg.distListen = ex.DistListen()
+	cfg.distWorkers = ex.DistWorkers()
+	cfg.distJoin = ex.DistJoin()
+	cfg.distSpawn = ex.DistSpawn()
+	cfg.distCorrupt = ex.DistCorrupt()
 	cfg.flags = make(map[string]string)
 	flag.Visit(func(f *flag.Flag) {
 		cfg.flags[f.Name] = f.Value.String()
@@ -270,13 +316,17 @@ func run(cfg config, out io.Writer) error {
 	}
 	started := testseed.Now()
 
-	if cfg.stabilize {
+	if cfg.distJoin != "" {
+		err = workerRun(cfg, prof, o)
+	} else if cfg.distListen != "" {
+		err = coordRun(cfg, o, rec, out)
+	} else if cfg.stabilize {
 		err = certifyRun(cfg, prof, o, rec, out)
 	} else if cfg.induct {
 		err = inductRun(cfg, prof, o, rec, out)
 	} else {
 		var auto ioa.Automaton
-		auto, err = buildSystem(cfg.system, cfg.nUsers, prof, cfg.faultSd, o)
+		auto, err = buildSystem(cfg, prof, o)
 		if err == nil {
 			if o != nil {
 				ioa.SetObsDeep(auto, o)
@@ -319,6 +369,10 @@ func run(cfg config, out io.Writer) error {
 // runMode names the entry point for the ledger's provenance record.
 func runMode(cfg config) string {
 	switch {
+	case cfg.distJoin != "":
+		return "dist-worker"
+	case cfg.distListen != "":
+		return "dist-coordinate"
 	case cfg.stabilize:
 		return "stabilize"
 	case cfg.induct:
@@ -561,6 +615,32 @@ func dispatch(cfg config, auto ioa.Automaton, o *obs.Obs, rec *ledger.Run, out i
 	if cfg.reach {
 		opts := cfg.explore
 		opts.Obs = o
+		if opts.Spill != nil {
+			if dec, ok := auto.(interface {
+				Decode([]byte) (ioa.State, error)
+			}); ok {
+				// Canonically decodable system: run the external census
+				// — frontier and seen set both on disk, O(spill budget)
+				// resident memory regardless of state count.
+				opts.Decode = dec.Decode
+				sum, cerr := explore.New(opts).Census(ctx, auto, nil, nil)
+				if cerr != nil {
+					if errors.Is(cerr, explore.ErrLimit) {
+						fmt.Fprintf(out, "%s: truncated at state budget %d (pass a larger -limit)\n", auto.Name(), opts.Limit)
+						return nil
+					}
+					return cerr
+				}
+				rec.States = sum.States
+				fmt.Fprintf(out, "%s: %d reachable states (external census, depth %d)\n", auto.Name(), sum.States, sum.Depth)
+				if sum.Deadlocks == 0 {
+					fmt.Fprintln(out, "no quiescent states")
+				} else {
+					fmt.Fprintf(out, "%d quiescent states (nothing locally controlled enabled)\n", sum.Deadlocks)
+				}
+				return nil
+			}
+		}
 		eng := explore.New(opts)
 		states, err := eng.Reach(ctx, auto)
 		truncated := false
@@ -610,6 +690,149 @@ func dispatch(cfg config, auto ioa.Automaton, o *obs.Obs, rec *ledger.Run, out i
 	return nil
 }
 
+// workerRun joins a coordinator at -dist-join as one worker process of
+// a sharded exploration. The worker builds the system locally — the
+// cluster protocol ships canonical encodings, never concrete states —
+// and owns the shard of the interned key space the coordinator's rank
+// assignment gives it. A -spill-dir is made rank-unique with a private
+// subdirectory, so several workers on one host never collide.
+func workerRun(cfg config, prof faults.Profile, o *obs.Obs) error {
+	spill := cfg.explore.Spill
+	if spill != nil {
+		if err := os.MkdirAll(spill.Dir, 0o755); err != nil {
+			return err
+		}
+		dir, err := os.MkdirTemp(spill.Dir, "shard-")
+		if err != nil {
+			return err
+		}
+		sp := *spill
+		sp.Dir = dir
+		spill = &sp
+	}
+	var canon store.Canonicalizer
+	if cfg.symmetry {
+		c, err := systemCanonicalizer(cfg.system, cfg.nUsers)
+		if err != nil {
+			return err
+		}
+		canon = c
+	}
+	wcfg := cluster.Config{
+		Addr:         cfg.distJoin,
+		Build:        func() (ioa.Automaton, error) { return buildSystem(cfg, prof, o) },
+		Limit:        int64(cfg.explore.Limit),
+		Spill:        spill,
+		Canon:        canon,
+		CorruptShard: cfg.distCorrupt,
+	}
+	// The coordinator may still be binding its listener (hand-started
+	// workers race it); retry refused dials for a few seconds.
+	var err error
+	for try := 0; try < 100; try++ {
+		err = cluster.Work(context.Background(), wcfg)
+		if err == nil || !strings.Contains(err.Error(), "connection refused") {
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return err
+}
+
+// joinAddr renders a bound listener address as a dialable -dist-join
+// target: an unspecified host (":0", "0.0.0.0", "::") becomes
+// loopback, since that is where locally spawned workers must dial.
+func joinAddr(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return a.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
+// coordRun coordinates a sharded multi-process exploration: it listens
+// on -dist-listen, waits for -dist-workers worker processes, drives the
+// level barriers, and reports the cluster-wide census. With -dist-spawn
+// the workers are forked from this binary with the system flags passed
+// through; otherwise start them by hand with -dist-join.
+func coordRun(cfg config, o *obs.Obs, rec *ledger.Run, out io.Writer) error {
+	if !cfg.reach {
+		return errors.New("-dist-listen requires -reach")
+	}
+	if cfg.por {
+		return errors.New("-por does not apply to -dist-listen: ample sets need a global transition view")
+	}
+	// Bind before spawning so workers can join an ephemeral port
+	// (-dist-listen :0): the join address comes from the bound
+	// listener, not the flag.
+	ln, err := net.Listen("tcp", cfg.distListen)
+	if err != nil {
+		return fmt.Errorf("dist: listen %s: %w", cfg.distListen, err)
+	}
+	join := joinAddr(ln.Addr())
+	fmt.Fprintf(out, "coordinating on %s (%d workers)\n", join, cfg.distWorkers)
+	var spawned []*exec.Cmd
+	if cfg.distSpawn {
+		args := []string{
+			"-system", cfg.system,
+			"-users", fmt.Sprint(cfg.nUsers),
+			"-dist-join", join,
+		}
+		if cfg.system == "grid" {
+			args = append(args, "-grid-base", fmt.Sprint(cfg.gridM), "-grid-digits", fmt.Sprint(cfg.gridK))
+		}
+		if cfg.explore.Limit != explore.DefaultLimit {
+			args = append(args, "-limit", fmt.Sprint(cfg.explore.Limit))
+		}
+		if cfg.explore.Spill != nil {
+			args = append(args,
+				"-spill-dir", cfg.explore.Spill.Dir,
+				"-spill-mem-mb", fmt.Sprint(cfg.explore.Spill.MemBudget>>20))
+		}
+		if cfg.symmetry {
+			args = append(args, "-symmetry")
+		}
+		if cfg.faults != "" && cfg.faults != "none" {
+			args = append(args, "-faults", cfg.faults, "-fault-seed", fmt.Sprint(cfg.faultSd))
+		}
+		for i := 0; i < cfg.distWorkers; i++ {
+			cmd := exec.Command(os.Args[0], args...)
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				return fmt.Errorf("spawn worker %d: %w", i, err)
+			}
+			spawned = append(spawned, cmd)
+		}
+	}
+	res, err := cluster.Coordinate(context.Background(), cluster.Config{
+		Listener: ln,
+		Procs:    cfg.distWorkers,
+		Limit:    int64(cfg.explore.Limit),
+		Obs:      o,
+	})
+	for i, cmd := range spawned {
+		if werr := cmd.Wait(); werr != nil {
+			err = errors.Join(err, fmt.Errorf("worker %d: %w", i, werr))
+		}
+	}
+	if err != nil {
+		return err
+	}
+	rec.States = res.States
+	rec.Detail = res.Verdict()
+	fmt.Fprintf(out, "%s: %d reachable states across %d processes (depth %d, verdict %s)\n",
+		cfg.system, res.States, res.Procs, res.Depth, res.Verdict())
+	fmt.Fprint(out, "shard balance:")
+	for _, n := range res.PerRank {
+		fmt.Fprintf(out, " %d", n)
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
 // writeFile writes one observability artifact through a buffered
 // writer. Flush and close always run, and their errors are combined
 // with the emit error, so a partial write (full disk, closed pipe) is
@@ -653,7 +876,8 @@ func writeJSON(w io.Writer, x *ioa.Execution) error {
 	return enc.Encode(events)
 }
 
-func buildSystem(name string, nUsers int, prof faults.Profile, faultSeed int64, o *obs.Obs) (ioa.Automaton, error) {
+func buildSystem(cfg config, prof faults.Profile, o *obs.Obs) (ioa.Automaton, error) {
+	name, nUsers, faultSeed := cfg.system, cfg.nUsers, cfg.faultSd
 	switch name {
 	case "arbiter3", "arbiter3r":
 		// Handled below; every other system rejects fault injection.
@@ -663,6 +887,15 @@ func buildSystem(name string, nUsers int, prof faults.Profile, faultSeed int64, 
 		}
 	}
 	switch name {
+	case "grid":
+		m, k := cfg.gridM, cfg.gridK
+		if m == 0 {
+			m = 10
+		}
+		if k == 0 {
+			k = 8
+		}
+		return grid.New(m, k)
 	case "fig21":
 		return figures.Fig21(), nil
 	case "fig22":
@@ -796,7 +1029,7 @@ func buildSystem(name string, nUsers int, prof faults.Profile, faultSeed int64, 
 		comps := append([]ioa.Automaton{arb}, users.Automata(users.HeavyLoad(names))...)
 		return ioa.Compose(name, comps...)
 	default:
-		return nil, fmt.Errorf("unknown system %q (try fig21, fig22, fig23c, arbiter1, arbiter2, arbiter3, arbiter3r, star, ring, mutex, dijkstra, lamport)", name)
+		return nil, fmt.Errorf("unknown system %q (try fig21, fig22, fig23c, arbiter1, arbiter2, arbiter3, arbiter3r, star, ring, mutex, dijkstra, lamport, grid)", name)
 	}
 }
 

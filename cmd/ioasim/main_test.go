@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -291,5 +292,33 @@ func TestWriteFileReportsErrors(t *testing.T) {
 	err := writeFile(path, func(w io.Writer) error { return boom })
 	if !errors.Is(err, boom) {
 		t.Errorf("emit error not propagated: %v", err)
+	}
+}
+
+// TestJoinAddr pins the -dist-spawn join-address derivation: workers
+// must be handed a dialable loopback address whenever the coordinator
+// listens on an unspecified host or an ephemeral port, and the real
+// bound port always wins over the flag's ":0".
+func TestJoinAddr(t *testing.T) {
+	for _, listen := range []string{":0", "127.0.0.1:0", "0.0.0.0:0"} {
+		ln, err := net.Listen("tcp", listen)
+		if err != nil {
+			t.Fatalf("listen %s: %v", listen, err)
+		}
+		got := joinAddr(ln.Addr())
+		_, port, err := net.SplitHostPort(got)
+		if err != nil {
+			t.Fatalf("listen %s: joinAddr %q not host:port: %v", listen, got, err)
+		}
+		if port == "0" {
+			t.Errorf("listen %s: joinAddr %q kept the ephemeral port 0", listen, got)
+		}
+		c, err := net.Dial("tcp", got)
+		if err != nil {
+			t.Errorf("listen %s: joinAddr %q is not dialable: %v", listen, got, err)
+		} else {
+			c.Close()
+		}
+		ln.Close()
 	}
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/explore"
@@ -336,7 +337,7 @@ func userDriver(t *testing.T, user, arb string) *ioa.Prog {
 // attachment process last forwarded to it and is not holding).
 func TestReachableStateSpaceMutualExclusion(t *testing.T) {
 	tr, sys := figSystem(t)
-	states, err := explore.Reach(sys.A3, 500000)
+	states, err := explore.New(explore.Options{Workers: 1, Limit: 500000}).Reach(context.Background(), sys.A3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package graphlevel
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arbiter/users"
@@ -59,7 +60,7 @@ func TestA2Invariants(t *testing.T) {
 	}
 	for _, c := range checks {
 		t.Run(c.name, func(t *testing.T) {
-			v, err := explore.CheckInvariant(a2, 1000000, c.pred)
+			v, err := explore.New(explore.Options{Workers: 1, Limit: 1000000}).CheckInvariant(context.Background(), a2, c.pred)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -94,7 +95,7 @@ func TestLemma41BufferInvariant(t *testing.T) {
 		{name: "Lemma36-RequestsPointToRoot", pred: RequestsPointToRoot},
 	} {
 		t.Run(c.name, func(t *testing.T) {
-			v, err := explore.CheckInvariant(a2, 2000000, c.pred)
+			v, err := explore.New(explore.Options{Workers: 1, Limit: 2000000}).CheckInvariant(context.Background(), a2, c.pred)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -257,7 +258,7 @@ func TestCombinedVariantKeepsInvariants(t *testing.T) {
 		{name: "Lemma36", pred: RequestsPointToRoot},
 		{name: "Mutex", pred: MutualExclusion},
 	} {
-		v, err := explore.CheckInvariant(a2, 1000000, c.pred)
+		v, err := explore.New(explore.Options{Workers: 1, Limit: 1000000}).CheckInvariant(context.Background(), a2, c.pred)
 		if err != nil {
 			t.Fatal(err)
 		}

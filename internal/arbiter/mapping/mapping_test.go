@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arbiter/dist"
@@ -114,7 +115,7 @@ func TestH1IsPossibilitiesMapping(t *testing.T) {
 // reachable state of A₃.
 func TestInvariantsI1I2(t *testing.T) {
 	c := buildChain(t, figure32(t), 0)
-	states, err := explore.Reach(c.sys.A3, 200000)
+	states, err := explore.New(explore.Options{Workers: 1, Limit: 200000}).Reach(context.Background(), c.sys.A3)
 	if err != nil {
 		t.Fatalf("reach: %v", err)
 	}

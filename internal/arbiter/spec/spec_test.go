@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -90,7 +91,7 @@ func TestA1RequestWhileHoldingRecorded(t *testing.T) {
 // input-enabledness across the space.
 func TestA1MutualExclusionStructural(t *testing.T) {
 	a, _ := newA1(t, 2)
-	states, err := explore.Reach(a, 10000)
+	states, err := explore.New(explore.Options{Workers: 1, Limit: 10000}).Reach(context.Background(), a)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -50,7 +51,7 @@ func TestExploreSystemLevels(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		states, err := explore.Reach(a, explore.DefaultLimit)
+		states, err := explore.New(explore.Options{Workers: 1, Limit: explore.DefaultLimit}).Reach(context.Background(), a)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,9 +93,9 @@ func BenchmarkReachSerialVsParallel(b *testing.B) {
 					b.StartTimer()
 					var states []ioa.State
 					if m.workers > 0 {
-						states, err = explore.ParallelReach(a, explore.Options{Workers: m.workers})
+						states, err = explore.New(explore.Options{Workers: m.workers}).Reach(context.Background(), a)
 					} else {
-						states, err = explore.Reach(a, explore.DefaultLimit)
+						states, err = explore.New(explore.Options{Workers: 1, Limit: explore.DefaultLimit}).Reach(context.Background(), a)
 					}
 					if err != nil {
 						b.Fatal(err)

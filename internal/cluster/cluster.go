@@ -1,0 +1,652 @@
+// Package cluster shards state-space exploration across OS processes
+// over localhost TCP: ioasim -dist-listen runs the coordinator,
+// ioasim -dist-join runs a worker, and the reachable set is
+// partitioned by the FNV-64a hash of each state's canonical encoding
+// modulo the process count.
+//
+// The protocol is level-synchronized BFS with a
+// discoverer-expands/owner-dedups split, chosen so that concrete
+// states never cross a process boundary — only canonical encodings
+// do, which means any automaton the in-process engines can explore
+// (composed tuples included) can be explored by a cluster, with no
+// Decode hook:
+//
+//  1. Each worker expands its frontier (states it discovered and won
+//     last level) and routes every successor's canonical encoding to
+//     the encoding's owner, Hash(enc) mod procs, via the coordinator.
+//  2. Each owner merges the candidate batches from all ranks, sorts
+//     them by (encoding, sender, index), deduplicates byte-equal
+//     encodings, and interns the survivors absent from its shard of
+//     the seen set — in sorted order, mirroring the in-process
+//     engine's key-sorted barrier interning. For each fresh encoding
+//     exactly one discoverer — the least (sender, index) — is told it
+//     won and will expand the state next level.
+//  3. Workers report per-level counts; the coordinator sums them,
+//     decides continuation, and broadcasts it.
+//
+// Determinism: an owner's shard is a set of canonical encodings, and
+// step 2 makes the set admitted at each level a pure function of the
+// previous levels' global set — independent of process count, worker
+// scheduling, and network interleaving. State counts, depths, and
+// verdicts are therefore bit-identical at any -dist-workers value,
+// and identical to the in-process engines; the battery in
+// cluster_test.go pins all three against each other. Which process
+// expands a state (and hence wall-clock balance) does vary — that is
+// the point — but expansion is a pure function of the state, so the
+// candidate sets do not.
+//
+// Every received candidate is verified to belong to the receiving
+// rank's shard; a corrupted shard assignment (the -dist-corrupt test
+// hook, or a real routing bug) aborts the whole cluster rather than
+// silently double-counting.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ioa"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/testseed"
+)
+
+// Config parameterizes both coordinator and workers.
+type Config struct {
+	// Addr is the coordinator's TCP listen address (Coordinate) or
+	// dial target (Work).
+	Addr string
+	// Procs is the worker-process count the coordinator waits for.
+	// Workers learn it from their welcome message.
+	Procs int
+	// Build constructs the automaton locally. Every process must build
+	// the same automaton — the protocol ships encodings, not states.
+	Build func() (ioa.Automaton, error)
+	// Limit bounds the global admitted-state count; 0 means no bound.
+	Limit int64
+	// Pred, when non-nil, is the invariant checked on every admitted
+	// state (at its discoverer, which holds the concrete state).
+	Pred func(ioa.State) bool
+	// Spill, when non-nil, backs each worker's shard of the seen set
+	// with the disk-spilling store.
+	Spill *store.SpillOptions
+	// Canon optionally canonicalizes encodings (symmetry quotient).
+	Canon store.Canonicalizer
+	// Listener, when non-nil, is a pre-bound coordinator listener;
+	// Coordinate takes ownership of it and ignores Addr. Callers bind
+	// it themselves to listen on an ephemeral port (":0") and learn
+	// the real address before spawning workers.
+	Listener net.Listener
+	// Obs, when non-nil on the coordinator, receives cluster-wide
+	// progress: dist.* metrics and per-level Progress snapshots.
+	Obs *obs.Obs
+	// Now supplies wall time for barrier-wait measurement; nil means
+	// testseed.Now.
+	Now func() time.Time
+	// CorruptShard is the must-fail test hook: the worker routes every
+	// candidate to the wrong owner, which the receiving owners detect.
+	CorruptShard bool
+}
+
+// Result is the coordinator's cluster-wide summary.
+type Result struct {
+	// States is the global admitted-state count (sum of shard sizes).
+	States int64
+	// Depth is the last completed BFS level.
+	Depth int64
+	// Procs is the worker-process count.
+	Procs int
+	// PerRank is each rank's shard size (balance check).
+	PerRank []int64
+	// Violation is the key of the least violating state of the first
+	// violating level, "" when the invariant held.
+	Violation string
+	// BarrierWaitNS is the total time workers spent blocked at level
+	// barriers, summed across ranks.
+	BarrierWaitNS int64
+}
+
+// Verdict renders the invariant verdict ("ok" / "fail <key>").
+func (r Result) Verdict() string {
+	if r.Violation == "" {
+		return "ok"
+	}
+	return "fail " + r.Violation
+}
+
+// ErrLimit is returned by Coordinate when the global admitted-state
+// count exceeds Config.Limit.
+var ErrLimit = errors.New("cluster: state limit exceeded")
+
+// Message kinds. One envelope struct keeps gob registration trivial.
+const (
+	kWelcome    = iota + 1 // coordinator → worker: rank assignment
+	kBatch                 // worker → owner (routed): candidate encodings
+	kCandsEnd              // worker → coordinator: done sending batches
+	kCandsAll              // coordinator → workers: every rank is done
+	kReply                 // owner → discoverer (routed): winning indices
+	kRepliesEnd            // worker → coordinator: done sending replies
+	kRepliesAll            // coordinator → workers: every owner is done
+	kLevel                 // worker → coordinator: level stats
+	kCtl                   // coordinator → workers: continue / stop
+	kFail                  // worker → coordinator: abort with error
+)
+
+// msg is the single wire envelope; the meaningful fields depend on
+// Kind.
+type msg struct {
+	Kind int
+	From int // sender rank
+	To   int // routing target rank (kBatch, kReply)
+
+	Procs int      // kWelcome
+	Encs  [][]byte // kBatch: candidate encodings, discovery order
+	Win   []int32  // kReply: winning indices into the batch From received from To
+
+	Fresh     int64  // kLevel: encodings this rank interned as owner
+	Owned     int64  // kLevel: this rank's shard size
+	Sent      int64  // kLevel: encodings this rank routed to other ranks
+	BarrierNS int64  // kLevel: time blocked at this level's barriers
+	Violation string // kLevel: least violating key among this rank's wins
+
+	Continue bool   // kCtl
+	Err      string // kCtl, kFail
+}
+
+// peer is one coordinator-side worker connection.
+type peer struct {
+	conn net.Conn
+	dec  *gob.Decoder
+
+	mu  sync.Mutex
+	enc *gob.Encoder
+}
+
+func (p *peer) send(m msg) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.enc.Encode(m)
+}
+
+// Coordinate listens on cfg.Addr, waits for cfg.Procs workers, drives
+// the level barriers, and returns the cluster-wide result. It does not
+// explore anything itself.
+func Coordinate(ctx context.Context, cfg Config) (Result, error) {
+	var res Result
+	if cfg.Procs < 1 {
+		return res, fmt.Errorf("cluster: need at least 1 worker, got %d", cfg.Procs)
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return res, fmt.Errorf("cluster: listen: %w", err)
+		}
+	}
+	defer ln.Close()
+
+	// Cancellation: closing the listener/conns unblocks Accept and the
+	// readers.
+	peers := make([]*peer, cfg.Procs)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		ln.Close()
+		for _, p := range peers {
+			if p != nil {
+				p.conn.Close()
+			}
+		}
+	}()
+
+	for rank := 0; rank < cfg.Procs; rank++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return res, ctxErr(ctx, fmt.Errorf("cluster: accept: %w", err))
+		}
+		p := &peer{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}
+		peers[rank] = p
+		if err := p.send(msg{Kind: kWelcome, To: rank, Procs: cfg.Procs}); err != nil {
+			return res, fmt.Errorf("cluster: welcome rank %d: %w", rank, err)
+		}
+	}
+
+	// Readers route kBatch/kReply directly peer-to-peer and funnel
+	// everything else to the control loop.
+	events := make(chan msg, 4*cfg.Procs)
+	var readErr sync.Once
+	for rank, p := range peers {
+		go func(rank int, p *peer) {
+			for {
+				var m msg
+				if err := p.dec.Decode(&m); err != nil {
+					readErr.Do(func() {
+						events <- msg{Kind: kFail, From: rank, Err: fmt.Sprintf("read rank %d: %v", rank, err)}
+					})
+					return
+				}
+				switch m.Kind {
+				case kBatch, kReply:
+					if m.To < 0 || m.To >= cfg.Procs {
+						readErr.Do(func() {
+							events <- msg{Kind: kFail, From: rank, Err: fmt.Sprintf("rank %d routed to bogus rank %d", rank, m.To)}
+						})
+						return
+					}
+					if err := peers[m.To].send(m); err != nil {
+						readErr.Do(func() {
+							events <- msg{Kind: kFail, From: rank, Err: fmt.Sprintf("route to rank %d: %v", m.To, err)}
+						})
+						return
+					}
+				default:
+					events <- m
+				}
+			}
+		}(rank, p)
+	}
+
+	broadcast := func(m msg) error {
+		for rank, p := range peers {
+			if err := p.send(m); err != nil {
+				return fmt.Errorf("cluster: broadcast to rank %d: %w", rank, err)
+			}
+		}
+		return nil
+	}
+	abort := func(reason error) (Result, error) {
+		_ = broadcast(msg{Kind: kCtl, Continue: false, Err: reason.Error()}) //lint:ignore errflow already aborting; the primary error wins
+		return res, reason
+	}
+	// waitAll collects one message of the wanted kind from every rank.
+	waitAll := func(kind int) ([]msg, error) {
+		out := make([]msg, 0, cfg.Procs)
+		for len(out) < cfg.Procs {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case m := <-events:
+				if m.Kind == kFail {
+					return nil, fmt.Errorf("cluster: rank %d failed: %s", m.From, m.Err)
+				}
+				if m.Kind != kind {
+					return nil, fmt.Errorf("cluster: protocol: got kind %d, want %d", m.Kind, kind)
+				}
+				out = append(out, m)
+			}
+		}
+		return out, nil
+	}
+
+	o := cfg.Obs
+	if o != nil {
+		o.Dist.Procs.Set(int64(cfg.Procs))
+	}
+	res.Procs = cfg.Procs
+	res.PerRank = make([]int64, cfg.Procs)
+	for level := int64(0); ; level++ {
+		if _, err := waitAll(kCandsEnd); err != nil {
+			return abort(err)
+		}
+		if err := broadcast(msg{Kind: kCandsAll}); err != nil {
+			return abort(err)
+		}
+		if _, err := waitAll(kRepliesEnd); err != nil {
+			return abort(err)
+		}
+		if err := broadcast(msg{Kind: kRepliesAll}); err != nil {
+			return abort(err)
+		}
+		stats, err := waitAll(kLevel)
+		if err != nil {
+			return abort(err)
+		}
+		var fresh, total, frontier int64
+		violation := ""
+		for _, m := range stats {
+			fresh += m.Fresh
+			total += m.Owned
+			frontier += m.Fresh // next level's frontier is this level's winners
+			res.PerRank[m.From] = m.Owned
+			res.BarrierWaitNS += m.BarrierNS
+			if m.Violation != "" && (violation == "" || m.Violation < violation) {
+				violation = m.Violation
+			}
+			if o != nil {
+				o.Dist.ShardStates(m.From, m.Owned)
+				o.Dist.SentEncs.Add(m.Sent)
+				o.Dist.BarrierWaitNS.Add(m.BarrierNS)
+			}
+		}
+		res.States = total
+		if fresh > 0 && level > 0 {
+			res.Depth = level
+		}
+		if o != nil {
+			o.Dist.Levels.Add(1)
+			o.EmitProgress(obs.Progress{
+				Phase:         "dist",
+				Depth:         level,
+				States:        total,
+				Frontier:      frontier,
+				BarrierWaitNS: res.BarrierWaitNS,
+				Done:          false,
+			})
+		}
+		if violation != "" {
+			res.Violation = violation
+			if err := broadcast(msg{Kind: kCtl, Continue: false}); err != nil {
+				return res, err
+			}
+			break
+		}
+		if cfg.Limit > 0 && total > cfg.Limit {
+			return abort(fmt.Errorf("%w: %d states, limit %d", ErrLimit, total, cfg.Limit))
+		}
+		cont := fresh > 0
+		if err := broadcast(msg{Kind: kCtl, Continue: cont}); err != nil {
+			return res, err
+		}
+		if !cont {
+			break
+		}
+	}
+	if o != nil {
+		o.EmitProgress(obs.Progress{
+			Phase:         "dist",
+			Depth:         res.Depth,
+			States:        res.States,
+			BarrierWaitNS: res.BarrierWaitNS,
+			Done:          true,
+		})
+	}
+	return res, nil
+}
+
+// ctxErr prefers the context's error when it fired.
+func ctxErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// candidate is one successor a worker discovered, pending the owner's
+// verdict.
+type candidate struct {
+	state ioa.State
+	enc   []byte
+}
+
+// ref orders an owner's merged candidates: byte order of the encoding
+// first (sorted interning), then (sender, index) to pick the canonical
+// winner among duplicates.
+type ref struct {
+	enc  []byte
+	from int
+	idx  int32
+}
+
+// Work dials the coordinator at cfg.Addr and explores this process's
+// shard until the cluster finishes. The error is nil iff the whole
+// cluster completed cleanly.
+func Work(ctx context.Context, cfg Config) error {
+	if cfg.Build == nil {
+		return fmt.Errorf("cluster: worker needs a Build hook")
+	}
+	now := cfg.Now
+	if now == nil {
+		now = testseed.Now
+	}
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("cluster: dial %s: %w", cfg.Addr, err)
+	}
+	defer conn.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	var welcome msg
+	if err := dec.Decode(&welcome); err != nil {
+		return ctxErr(ctx, fmt.Errorf("cluster: welcome: %w", err))
+	}
+	if welcome.Kind != kWelcome {
+		return fmt.Errorf("cluster: protocol: first message kind %d", welcome.Kind)
+	}
+	rank, procs := welcome.To, welcome.Procs
+
+	a, err := cfg.Build()
+	if err != nil {
+		return fmt.Errorf("cluster: rank %d: build: %w", rank, err)
+	}
+	var seen store.SeenSet
+	if cfg.Spill != nil {
+		spOpts := *cfg.Spill
+		spOpts.Canon = cfg.Canon
+		sp, err := store.NewSpill(spOpts)
+		if err != nil {
+			return fmt.Errorf("cluster: rank %d: %w", rank, err)
+		}
+		seen = sp
+	} else {
+		seen = store.New(store.Options{Canon: cfg.Canon})
+	}
+	//lint:ignore errflow storage failures already aborted the level loop; Close here only releases temp files
+	defer seen.Close()
+
+	fail := func(err error) error {
+		//lint:ignore errflow the primary error wins; the coordinator also notices the closed conn
+		enc.Encode(msg{Kind: kFail, From: rank, Err: err.Error()})
+		return err
+	}
+
+	inputs := a.Sig().Inputs().Sorted()
+	// candidates starts as the start states — every rank proposes the
+	// same level-0 set and owner dedup keeps one copy of each.
+	var cands []candidate
+	for _, s := range a.Start() {
+		cands = append(cands, candidate{state: s, enc: seen.AppendCanonical(nil, s)})
+	}
+
+	for {
+		// Phase A: route candidates to their owners.
+		sentStates := make([][]ioa.State, procs)
+		sentEncs := make([][][]byte, procs)
+		var sentCount int64
+		for _, c := range cands {
+			owner := int(store.Hash(c.enc) % uint64(procs))
+			if cfg.CorruptShard {
+				owner = (owner + 1) % procs
+			}
+			sentStates[owner] = append(sentStates[owner], c.state)
+			sentEncs[owner] = append(sentEncs[owner], c.enc)
+		}
+		for owner := 0; owner < procs; owner++ {
+			if owner == rank || len(sentEncs[owner]) == 0 {
+				continue
+			}
+			sentCount += int64(len(sentEncs[owner]))
+			if err := enc.Encode(msg{Kind: kBatch, From: rank, To: owner, Encs: sentEncs[owner]}); err != nil {
+				return ctxErr(ctx, fmt.Errorf("cluster: rank %d: send batch: %w", rank, err))
+			}
+		}
+		if err := enc.Encode(msg{Kind: kCandsEnd, From: rank}); err != nil {
+			return ctxErr(ctx, err)
+		}
+
+		// Collect batches addressed to this rank until the barrier.
+		barrierStart := now()
+		refs := make([]ref, 0, len(sentEncs[rank]))
+		for i, e := range sentEncs[rank] {
+			refs = append(refs, ref{enc: e, from: rank, idx: int32(i)})
+		}
+		for {
+			var m msg
+			if err := dec.Decode(&m); err != nil {
+				return ctxErr(ctx, fmt.Errorf("cluster: rank %d: read: %w", rank, err))
+			}
+			if m.Kind == kCandsAll {
+				break
+			}
+			if m.Kind == kCtl {
+				return ctlErr(rank, m)
+			}
+			if m.Kind != kBatch {
+				return fmt.Errorf("cluster: rank %d: protocol: kind %d during candidate barrier", rank, m.Kind)
+			}
+			for i, e := range m.Encs {
+				refs = append(refs, ref{enc: e, from: m.From, idx: int32(i)})
+			}
+		}
+		barrierNS := now().Sub(barrierStart).Nanoseconds()
+
+		// Phase B: owner dedup. Sorting by (enc, from, idx) makes both
+		// the interning order and the winner choice canonical.
+		for _, r := range refs {
+			if store.Hash(r.enc)%uint64(procs) != uint64(rank) {
+				return fail(fmt.Errorf("cluster: rank %d: shard assignment corrupt: encoding %x from rank %d belongs to rank %d",
+					rank, r.enc, r.from, store.Hash(r.enc)%uint64(procs)))
+			}
+		}
+		sort.Slice(refs, func(i, j int) bool {
+			if c := bytes.Compare(refs[i].enc, refs[j].enc); c != 0 {
+				return c < 0
+			}
+			if refs[i].from != refs[j].from {
+				return refs[i].from < refs[j].from
+			}
+			return refs[i].idx < refs[j].idx
+		})
+		var freshCount int64
+		wins := make([][]int32, procs)
+		for i := 0; i < len(refs); {
+			j := i + 1
+			for j < len(refs) && bytes.Equal(refs[j].enc, refs[i].enc) {
+				j++
+			}
+			if _, fresh := seen.InternEncoded(refs[i].enc, store.Hash(refs[i].enc)); fresh {
+				freshCount++
+				wins[refs[i].from] = append(wins[refs[i].from], refs[i].idx)
+			}
+			i = j
+		}
+		if err := seen.Err(); err != nil {
+			return fail(fmt.Errorf("cluster: rank %d: storage: %w", rank, err))
+		}
+		for r := 0; r < procs; r++ {
+			if r == rank || len(wins[r]) == 0 {
+				continue
+			}
+			if err := enc.Encode(msg{Kind: kReply, From: rank, To: r, Win: wins[r]}); err != nil {
+				return ctxErr(ctx, err)
+			}
+		}
+		if err := enc.Encode(msg{Kind: kRepliesEnd, From: rank}); err != nil {
+			return ctxErr(ctx, err)
+		}
+
+		// Collect win lists addressed to this rank.
+		barrierStart = now()
+		myWins := make([][]int32, procs)
+		myWins[rank] = wins[rank]
+		for {
+			var m msg
+			if err := dec.Decode(&m); err != nil {
+				return ctxErr(ctx, fmt.Errorf("cluster: rank %d: read: %w", rank, err))
+			}
+			if m.Kind == kRepliesAll {
+				break
+			}
+			if m.Kind == kCtl {
+				return ctlErr(rank, m)
+			}
+			if m.Kind != kReply {
+				return fmt.Errorf("cluster: rank %d: protocol: kind %d during reply barrier", rank, m.Kind)
+			}
+			myWins[m.From] = m.Win
+		}
+		barrierNS += now().Sub(barrierStart).Nanoseconds()
+
+		// Phase C: assemble the next frontier from winning candidates,
+		// check the invariant, and report the level.
+		violation := ""
+		var frontier []ioa.State
+		for owner := 0; owner < procs; owner++ {
+			win := myWins[owner]
+			sort.Slice(win, func(i, j int) bool { return win[i] < win[j] })
+			for _, idx := range win {
+				s := sentStates[owner][idx]
+				if cfg.Pred != nil && !cfg.Pred(s) {
+					if k := s.Key(); violation == "" || k < violation {
+						violation = k
+					}
+				}
+				frontier = append(frontier, s)
+			}
+		}
+		if err := enc.Encode(msg{
+			Kind: kLevel, From: rank,
+			Fresh: freshCount, Owned: int64(seen.Len()), Sent: sentCount,
+			BarrierNS: barrierNS, Violation: violation,
+		}); err != nil {
+			return ctxErr(ctx, err)
+		}
+		var ctl msg
+		if err := dec.Decode(&ctl); err != nil {
+			return ctxErr(ctx, fmt.Errorf("cluster: rank %d: read ctl: %w", rank, err))
+		}
+		if ctl.Kind != kCtl {
+			return fmt.Errorf("cluster: rank %d: protocol: kind %d, want ctl", rank, ctl.Kind)
+		}
+		if !ctl.Continue {
+			return ctlErr(rank, ctl)
+		}
+
+		// Expand the frontier into next level's candidates.
+		cands = cands[:0]
+		var encBuf []byte
+		yield := func(nxt ioa.State) bool {
+			encBuf = seen.AppendCanonical(encBuf[:0], nxt)
+			cands = append(cands, candidate{state: nxt, enc: append([]byte(nil), encBuf...)})
+			return true
+		}
+		for _, s := range frontier {
+			for _, act := range a.Enabled(s) {
+				ioa.VisitNext(a, s, act, yield)
+			}
+			for _, act := range inputs {
+				ioa.VisitNext(a, s, act, yield)
+			}
+		}
+	}
+}
+
+// ctlErr translates a stop control message into the worker's return
+// value.
+func ctlErr(rank int, m msg) error {
+	if m.Err != "" {
+		return fmt.Errorf("cluster: rank %d: coordinator aborted: %s", rank, m.Err)
+	}
+	return nil
+}

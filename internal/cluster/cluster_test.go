@@ -1,0 +1,287 @@
+package cluster
+
+// In-process cluster battery: coordinator and workers run as
+// goroutines over real localhost TCP, so the whole protocol — gob
+// framing, routing, barriers, owner dedup, winner replies — is
+// exercised exactly as the multi-process CI job runs it. The pinned
+// property is the tentpole's: state counts, depths, and verdicts are
+// bit-identical at process counts {1, 2, 4} and identical to the
+// in-process engines.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/figures"
+	"repro/internal/grid"
+	"repro/internal/ioa"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/testseed"
+)
+
+// run starts a coordinator and procs workers on an ephemeral port and
+// returns the coordinator's result plus every worker's error.
+func run(t *testing.T, procs int, mut func(rank int, cfg *Config), cfg Config) (Result, []error) {
+	t.Helper()
+	cfg.Procs = procs
+	cfg.Addr = freePort(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var (
+		res     Result
+		coorErr error
+		wg      sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, coorErr = Coordinate(ctx, cfg)
+	}()
+
+	errs := make([]error, procs)
+	var wwg sync.WaitGroup
+	for rank := 0; rank < procs; rank++ {
+		wwg.Add(1)
+		go func(rank int) {
+			defer wwg.Done()
+			wcfg := cfg
+			if mut != nil {
+				mut(rank, &wcfg)
+			}
+			errs[rank] = dialUntilUp(ctx, wcfg)
+		}(rank)
+	}
+	wwg.Wait()
+	wg.Wait()
+	if coorErr != nil {
+		return res, append(errs, coorErr)
+	}
+	return res, errs
+}
+
+// freePort reserves an ephemeral localhost port and returns it; the
+// coordinator re-listens on it and the workers retry until it is up.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserve port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// dialUntilUp retries Work while the coordinator's listener comes up
+// (the reserved port is closed between freePort and Coordinate).
+func dialUntilUp(ctx context.Context, cfg Config) error {
+	var err error
+	for try := 0; try < 200; try++ {
+		err = Work(ctx, cfg)
+		if err == nil || !strings.Contains(err.Error(), "connection refused") {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	return err
+}
+
+func buildGrid(m, k int) func() (ioa.Automaton, error) {
+	return func() (ioa.Automaton, error) { return grid.New(m, k) }
+}
+
+func TestClusterMatchesEngineAcrossProcs(t *testing.T) {
+	ctx := context.Background()
+	base := testseed.Base(t)
+	systems := map[string]func() (ioa.Automaton, error){
+		"fig21":  func() (ioa.Automaton, error) { return figures.Fig21(), nil },
+		"fig23c": func() (ioa.Automaton, error) { return figures.Fig23C(), nil },
+		"grid44": buildGrid(4, 4),
+		"grid28": buildGrid(2, 8),
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		systems[fmt.Sprintf("rand%d", seed)] = func() (ioa.Automaton, error) {
+			return randSystem(rand.New(rand.NewSource(base + 3100 + seed))), nil
+		}
+	}
+	for name, build := range systems {
+		a, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := explore.New(explore.Options{Workers: 2}).Reach(ctx, a)
+		if err != nil {
+			t.Fatalf("%s: engine: %v", name, err)
+		}
+		var prev *Result
+		for _, procs := range []int{1, 2, 4} {
+			res, errs := run(t, procs, nil, Config{Build: build})
+			for rank, werr := range errs {
+				if werr != nil {
+					t.Fatalf("%s procs=%d rank %d: %v", name, procs, rank, werr)
+				}
+			}
+			if res.States != int64(len(want)) {
+				t.Fatalf("%s procs=%d: %d states, engine found %d", name, procs, res.States, len(want))
+			}
+			var sum int64
+			for _, n := range res.PerRank {
+				sum += n
+			}
+			if sum != res.States {
+				t.Fatalf("%s procs=%d: shard sizes sum to %d, want %d", name, procs, sum, res.States)
+			}
+			if prev != nil {
+				if res.States != prev.States || res.Depth != prev.Depth || res.Violation != prev.Violation {
+					t.Fatalf("%s: procs=%d diverged from previous proc count: %+v vs %+v", name, procs, res, *prev)
+				}
+			}
+			prev = &res
+		}
+	}
+}
+
+func TestClusterVerdictsBitIdentical(t *testing.T) {
+	// An invariant that fails somewhere in the grid: verdicts and the
+	// violating key must agree at every process count.
+	build := buildGrid(3, 3)
+	bad := string([]byte{1, 2, 0})
+	pred := func(s ioa.State) bool { return s.Key() != bad }
+	var prev *Result
+	for _, procs := range []int{1, 2, 4} {
+		res, errs := run(t, procs, nil, Config{Build: build, Pred: pred})
+		for rank, err := range errs {
+			if err != nil {
+				t.Fatalf("procs=%d rank %d: %v", procs, rank, err)
+			}
+		}
+		if res.Violation != bad {
+			t.Fatalf("procs=%d: violation %q, want %q", procs, res.Violation, bad)
+		}
+		if res.Verdict() != "fail "+bad {
+			t.Fatalf("procs=%d: verdict %q", procs, res.Verdict())
+		}
+		if prev != nil && (res.States != prev.States || res.Violation != prev.Violation) {
+			t.Fatalf("procs=%d diverged: %+v vs %+v", procs, res, *prev)
+		}
+		prev = &res
+	}
+}
+
+func TestClusterSpillBackedWorkers(t *testing.T) {
+	build := buildGrid(4, 4)
+	a, _ := build()
+	g := a.(*grid.Grid)
+	res, errs := run(t, 2, func(rank int, cfg *Config) {
+		cfg.Spill = &store.SpillOptions{Dir: t.TempDir(), MemBudget: 128}
+	}, Config{Build: build})
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	if res.States != g.States() {
+		t.Fatalf("spill-backed cluster found %d states, want %d", res.States, g.States())
+	}
+	if res.Depth != g.Depth() {
+		t.Fatalf("spill-backed cluster depth %d, want %d", res.Depth, g.Depth())
+	}
+}
+
+func TestClusterCorruptShardMustFail(t *testing.T) {
+	res, errs := run(t, 2, func(rank int, cfg *Config) {
+		if rank == 1 {
+			cfg.CorruptShard = true
+		}
+	}, Config{Build: buildGrid(3, 3)})
+	failed := false
+	for _, err := range errs {
+		if err != nil && strings.Contains(err.Error(), "shard assignment corrupt") {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatalf("corrupted shard assignment not detected: result %+v, errs %v", res, errs)
+	}
+}
+
+func TestClusterLimit(t *testing.T) {
+	_, errs := run(t, 2, nil, Config{Build: buildGrid(4, 4), Limit: 10})
+	limited := false
+	for _, err := range errs {
+		if errors.Is(err, ErrLimit) {
+			limited = true
+		}
+	}
+	if !limited {
+		t.Fatalf("limit 10 on a 256-state walk not enforced: %v", errs)
+	}
+}
+
+func TestClusterObsGauges(t *testing.T) {
+	o := obs.New(nil)
+	res, errs := run(t, 2, nil, Config{Build: buildGrid(3, 3), Obs: o})
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	if res.States != 27 {
+		t.Fatalf("states = %d", res.States)
+	}
+	snap := o.Reg.Snapshot()
+	if snap.Gauges["dist.procs"] != 2 {
+		t.Fatalf("dist.procs = %d", snap.Gauges["dist.procs"])
+	}
+	if snap.Counters["dist.levels"] == 0 {
+		t.Fatal("dist.levels never incremented")
+	}
+	var shardSum int64
+	for _, rank := range []string{"0", "1"} {
+		shardSum += snap.Gauges["dist.shard_states."+rank]
+	}
+	if shardSum != 27 {
+		t.Fatalf("shard gauges sum to %d, want 27", shardSum)
+	}
+}
+
+// randSystem mirrors the explore battery's random table shapes.
+func randSystem(rng *rand.Rand) ioa.Automaton {
+	name := fmt.Sprintf("ct%d", rng.Intn(1<<20))
+	n := 3 + rng.Intn(5)
+	states := make([]ioa.State, n)
+	for i := range states {
+		states[i] = ioa.KeyState(fmt.Sprintf("%s-%d", name, i))
+	}
+	acts := []ioa.Action{"a", "b", "c"}
+	sig := ioa.MustSignature(nil, acts[:2], acts[2:])
+	var steps []ioa.Step
+	for _, act := range acts {
+		k := 1 + rng.Intn(4)
+		for j := 0; j < k; j++ {
+			steps = append(steps, ioa.Step{
+				From: states[rng.Intn(n)],
+				Act:  act,
+				To:   states[rng.Intn(n)],
+			})
+		}
+	}
+	classes := []ioa.Class{{Name: name, Actions: ioa.NewSet(acts...)}}
+	return ioa.MustTable(name, sig, states[:1], steps, classes)
+}

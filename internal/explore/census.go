@@ -1,0 +1,321 @@
+package explore
+
+// Census: reachability analysis that never materializes the state
+// space. Reach returns []ioa.State — fine up to tens of millions of
+// states, impossible at 10⁸⁺. Census instead streams the walk and
+// returns counts and verdicts, and in its external mode keeps both the
+// seen set and the frontier on disk:
+//
+//   - the frontier is a store.Frontier of canonical encodings
+//     (DiskFrontier once spilling is on), drained sequentially and
+//     re-expanded through Options.Decode;
+//   - successor candidates accumulate in a bounded in-RAM chunk; each
+//     full chunk is sorted, deduplicated, and batch-interned through
+//     Spill.MergeIntern, which merge-joins the sorted chunk against
+//     every on-disk run in one sequential pass — per-level cost is
+//     O(runs read once), not O(candidates × point lookups);
+//   - each fresh state becomes, in the same pass, a member of the new
+//     run and an entry of the next level's frontier.
+//
+// Peak RAM is the chunk budget plus the per-run bloom filters and
+// sparse indexes, independent of the state count — this is the path
+// behind the ≥10⁸-state runs in EXPERIMENTS.md E23.
+//
+// Determinism: the walk is single-goroutine and chunk boundaries are a
+// pure function of the candidate byte stream, so counts, depths, and
+// verdicts are exactly those of Reach on the same automaton; the
+// dist package's cross-process battery pins the counts against both
+// engines. Within a level, visit order follows chunk-then-key order
+// (each merged chunk is key-sorted; chunks flush in discovery order).
+//
+// External mode requires Options.Decode because frontier states are
+// re-built from their canonical encodings. Systems whose encodings
+// are self-describing provide it trivially (ioa.KeyState round-trips
+// as its own key; internal/grid decodes digit vectors). Without
+// Decode — or without Options.Spill — Census falls back to the
+// level-synchronized in-RAM engine and just streams its result.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ioa"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// Summary is the result of a Census walk.
+type Summary struct {
+	// States is the number of distinct reachable states admitted.
+	States int64
+	// Depth is the last completed BFS level (0 when only the start
+	// states exist).
+	Depth int64
+	// Deadlocks counts states with no locally-controlled action
+	// enabled.
+	Deadlocks int64
+	// Violation is the first invariant violation encountered, when a
+	// predicate was given. External-mode violations carry the state
+	// but no witness trace (no parent links are kept on disk).
+	Violation *Violation
+}
+
+// Census explores the reachable states of a without materializing
+// them, calling visit (when non-nil) on each admitted state and
+// checking pred (when non-nil) on each. It stops early at the first
+// violation. With Options.Spill and Options.Decode both set it runs
+// the external-memory engine documented above; otherwise it streams
+// the in-RAM parallel engine's result. Options.Limit bounds admitted
+// states in either mode; exceeding it returns ErrLimit with the
+// partial summary.
+func (e *Engine) Census(ctx context.Context, a ioa.Automaton, pred func(ioa.State) bool, visit func(ioa.State)) (Summary, error) {
+	ctx = ctxOr(ctx)
+	if e.opts.Spill != nil && e.opts.Decode != nil {
+		return e.censusExternal(ctx, a, pred, visit)
+	}
+	return e.censusMaterialized(ctx, a, pred, visit)
+}
+
+// censusMaterialized wraps the level-synchronized engine: same
+// depth-then-key visit order as censusExternal, with witness-bearing
+// violations.
+func (e *Engine) censusMaterialized(ctx context.Context, a ioa.Automaton, pred func(ioa.State) bool, visit func(ioa.State)) (Summary, error) {
+	order, v, depth, err := e.parallelExplore(ctx, a, pred)
+	sum := Summary{States: int64(len(order)), Depth: int64(depth), Violation: v}
+	if visit != nil {
+		for _, s := range order {
+			visit(s)
+		}
+	}
+	if err != nil || v != nil {
+		return sum, err
+	}
+	for _, s := range order {
+		if len(a.Enabled(s)) == 0 {
+			sum.Deadlocks++
+		}
+	}
+	return sum, nil
+}
+
+// chunkBatch is the bounded in-RAM candidate accumulator: one arena of
+// concatenated encodings plus boundaries, sorted and deduplicated at
+// flush time.
+type chunkBatch struct {
+	arena []byte
+	offs  []int // entry i is arena[offs[i]:offs[i+1]]; offs[0] == 0
+	cap   int64
+}
+
+func newChunkBatch(capBytes int64) *chunkBatch {
+	return &chunkBatch{offs: []int{0}, cap: capBytes}
+}
+
+func (c *chunkBatch) add(enc []byte) {
+	c.arena = append(c.arena, enc...)
+	c.offs = append(c.offs, len(c.arena))
+}
+
+func (c *chunkBatch) len() int { return len(c.offs) - 1 }
+
+func (c *chunkBatch) full() bool { return int64(len(c.arena)) >= c.cap }
+
+func (c *chunkBatch) key(i int) []byte { return c.arena[c.offs[i]:c.offs[i+1]] }
+
+func (c *chunkBatch) reset() {
+	c.arena = c.arena[:0]
+	c.offs = c.offs[:1]
+}
+
+// censusExternal is the disk-backed walk.
+func (e *Engine) censusExternal(ctx context.Context, a ioa.Automaton, pred func(ioa.State) bool, visit func(ioa.State)) (Summary, error) {
+	var sum Summary
+	o := e.opts.Obs
+	if o != nil {
+		defer o.Tracer.Span(0, "explore", "census "+a.Name())()
+	}
+	limit := int64(e.opts.limit())
+	decode := e.opts.Decode
+
+	spOpts := *e.opts.Spill
+	spOpts.Canon = e.opts.Canon
+	sp, err := store.NewSpill(spOpts)
+	if err != nil {
+		return sum, err
+	}
+	//lint:ignore errflow storage failures surface through sp.Err during the walk; Close here only releases temp files
+	defer sp.Close()
+	chunkCap := spOpts.MemBudget
+	if chunkCap <= 0 {
+		chunkCap = store.DefaultSpillBudget
+	}
+
+	// Frontier ping-pong: drain cur while pushing the next level into
+	// nxt. Frontiers live next to the runs (when a -spill-dir was
+	// given) so one directory caps the walk's entire disk footprint.
+	var cur, nxt store.Frontier
+	if cur, err = store.NewDiskFrontier(spOpts.Dir); err != nil {
+		return sum, err
+	}
+	//lint:ignore errflow frontier Close only removes the temp queue file
+	defer cur.Close()
+	if nxt, err = store.NewDiskFrontier(spOpts.Dir); err != nil {
+		return sum, err
+	}
+	//lint:ignore errflow frontier Close only removes the temp queue file
+	defer nxt.Close()
+
+	chunk := newChunkBatch(chunkCap)
+	idx := make([]int, 0, 1<<10)
+	errStop := errors.New("census: stop")
+
+	// flushChunk sorts and dedups the accumulated candidates, then
+	// batch-interns them: fresh states join the next frontier and the
+	// new run in one pass. pred/visit run on the decoded fresh states
+	// in merged key order.
+	flushChunk := func() error {
+		if chunk.len() == 0 {
+			return nil
+		}
+		idx = idx[:0]
+		for i := 0; i < chunk.len(); i++ {
+			idx = append(idx, i)
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return bytes.Compare(chunk.key(idx[a]), chunk.key(idx[b])) < 0
+		})
+		pos := 0
+		next := func() ([]byte, bool) {
+			for pos < len(idx) {
+				k := chunk.key(idx[pos])
+				if pos > 0 && bytes.Equal(chunk.key(idx[pos-1]), k) {
+					pos++
+					continue
+				}
+				pos++
+				return k, true
+			}
+			return nil, false
+		}
+		_, err := sp.MergeIntern(next, func(enc []byte, id store.ID) error {
+			if sum.States >= limit {
+				return errLimit(a, int(limit))
+			}
+			sum.States++
+			if pred != nil || visit != nil {
+				s, derr := decode(enc)
+				if derr != nil {
+					return fmt.Errorf("explore: %s: decode: %w", a.Name(), derr)
+				}
+				if visit != nil {
+					visit(s)
+				}
+				if pred != nil && !pred(s) {
+					sum.Violation = &Violation{State: s}
+					return errStop
+				}
+			}
+			return nxt.Push(enc)
+		})
+		chunk.reset()
+		return err
+	}
+
+	// Level 0: the canonically sorted start states.
+	for _, s := range a.Start() {
+		chunk.arena = sp.AppendCanonical(chunk.arena, s)
+		chunk.offs = append(chunk.offs, len(chunk.arena))
+	}
+	if err := flushChunk(); err != nil {
+		if err == errStop {
+			return sum, nil
+		}
+		return sum, err
+	}
+	cur, nxt = nxt, cur
+
+	scratch := newActionScratch(a)
+	var enc []byte
+	for depth := int64(1); cur.Len() > 0; depth++ {
+		if err := ctx.Err(); err != nil {
+			return sum, err
+		}
+		drained := 0
+		err := cur.Drain(func(rec []byte) error {
+			drained++
+			if drained&63 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			s, derr := decode(rec)
+			if derr != nil {
+				return fmt.Errorf("explore: %s: decode: %w", a.Name(), derr)
+			}
+			if len(a.Enabled(s)) == 0 {
+				sum.Deadlocks++
+			}
+			yield := func(nxtState ioa.State) bool {
+				enc = sp.AppendCanonical(enc[:0], nxtState)
+				chunk.add(enc)
+				return true
+			}
+			for _, act := range scratch.step(a, s) {
+				ioa.VisitNext(a, s, act, yield)
+			}
+			if chunk.full() {
+				return flushChunk()
+			}
+			return nil
+		})
+		if err == nil {
+			err = flushChunk()
+		}
+		if err != nil {
+			if err == errStop {
+				return sum, nil
+			}
+			return sum, err
+		}
+		if nxt.Len() > 0 {
+			sum.Depth = depth
+		}
+		if o != nil {
+			st := sp.Stats()
+			o.Explore.Levels.Add(1)
+			o.Explore.Frontier.Observe(int64(cur.Len()))
+			storeGauges(o, sp)
+			o.EmitProgress(obs.Progress{
+				Phase:        "census",
+				Depth:        depth,
+				States:       sum.States,
+				Frontier:     int64(nxt.Len()),
+				Occupancy:    int64(st.States),
+				ArenaBytes:   st.ArenaBytes,
+				SpilledBytes: st.SpilledBytes,
+			})
+		}
+		if err := cur.Reset(); err != nil {
+			return sum, err
+		}
+		cur, nxt = nxt, cur
+	}
+	if o != nil {
+		o.Explore.States.Add(sum.States)
+		storeGauges(o, sp)
+		st := sp.Stats()
+		o.EmitProgress(obs.Progress{
+			Phase:        "census",
+			Depth:        sum.Depth,
+			States:       sum.States,
+			Occupancy:    int64(st.States),
+			ArenaBytes:   st.ArenaBytes,
+			SpilledBytes: st.SpilledBytes,
+			Done:         true,
+		})
+	}
+	return sum, nil
+}

@@ -6,6 +6,7 @@ package explore_test
 // compositions, and the repository's real systems.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -102,12 +103,12 @@ func TestDifferentialReachRandom(t *testing.T) {
 	for seed := int64(0); seed < 25; seed++ {
 		rng := rand.New(rand.NewSource(base + seed))
 		a := randSystem(rng, seed)
-		seq, err := explore.Reach(a, explore.DefaultLimit)
+		seq, err := explore.New(explore.Options{Workers: 1, Limit: explore.DefaultLimit}).Reach(context.Background(), a)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		for _, w := range diffWorkers {
-			par, err := explore.ParallelReach(a, explore.Options{Workers: w})
+			par, err := parallelReach(a, explore.Options{Workers: w})
 			if err != nil {
 				t.Fatalf("seed %d workers %d: %v", seed, w, err)
 			}
@@ -123,11 +124,11 @@ func TestDifferentialReachDedup(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		rng := rand.New(rand.NewSource(base + 100 + seed))
 		a := randSystem(rng, seed)
-		plain, err := explore.ParallelReach(a, explore.Options{Workers: 4})
+		plain, err := parallelReach(a, explore.Options{Workers: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
-		dedup, err := explore.ParallelReach(a, explore.Options{Workers: 4, Dedup: true})
+		dedup, err := parallelReach(a, explore.Options{Workers: 4, Dedup: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -152,7 +153,7 @@ func TestDifferentialReachDeterministic(t *testing.T) {
 		var ref []ioa.State
 		for run := 0; run < 3; run++ {
 			for _, w := range diffWorkers {
-				got, err := explore.ParallelReach(a, explore.Options{Workers: w})
+				got, err := parallelReach(a, explore.Options{Workers: w})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -182,7 +183,7 @@ func TestDifferentialInvariantVerdicts(t *testing.T) {
 	for seed := int64(0); seed < 25; seed++ {
 		rng := rand.New(rand.NewSource(base + 300 + seed))
 		a := randSystem(rng, seed)
-		seq, err := explore.Reach(a, explore.DefaultLimit)
+		seq, err := explore.New(explore.Options{Workers: 1, Limit: explore.DefaultLimit}).Reach(context.Background(), a)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,12 +196,12 @@ func TestDifferentialInvariantVerdicts(t *testing.T) {
 			"start":     func(s ioa.State) bool { return s.Key() != a.Start()[0].Key() },
 		}
 		for name, pred := range preds {
-			sv, err := explore.CheckInvariant(a, explore.DefaultLimit, pred)
+			sv, err := explore.New(explore.Options{Workers: 1, Limit: explore.DefaultLimit}).CheckInvariant(context.Background(), a, pred)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, w := range diffWorkers {
-				pv, err := explore.ParallelCheck(a, explore.Options{Workers: w}, pred)
+				pv, err := parallelCheck(a, explore.Options{Workers: w}, pred)
 				if err != nil {
 					t.Fatalf("seed %d %s workers %d: %v", seed, name, w, err)
 				}
@@ -277,7 +278,7 @@ func TestDifferentialErrLimitContract(t *testing.T) {
 	for seed := int64(0); seed < 40 && tried < 12; seed++ {
 		rng := rand.New(rand.NewSource(base + 400 + seed))
 		a := randSystem(rng, seed)
-		full, err := explore.Reach(a, explore.DefaultLimit)
+		full, err := explore.New(explore.Options{Workers: 1, Limit: explore.DefaultLimit}).Reach(context.Background(), a)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -286,14 +287,14 @@ func TestDifferentialErrLimitContract(t *testing.T) {
 		}
 		tried++
 		limit := len(full)/2 + 1
-		seq, seqErr := explore.Reach(a, limit)
+		seq, seqErr := explore.New(explore.Options{Workers: 1, Limit: limit}).Reach(context.Background(), a)
 		if !errors.Is(seqErr, explore.ErrLimit) {
 			t.Fatalf("seed %d: sequential explore.Reach(limit=%d) err = %v, want explore.ErrLimit", seed, limit, seqErr)
 		}
 		fullSet := stateSet(full)
 		levels := bfsLevels(a)
 		for _, w := range diffWorkers {
-			par, parErr := explore.ParallelReach(a, explore.Options{Workers: w, Limit: limit})
+			par, parErr := parallelReach(a, explore.Options{Workers: w, Limit: limit})
 			if !errors.Is(parErr, explore.ErrLimit) {
 				t.Fatalf("seed %d workers %d: parallel err = %v, want explore.ErrLimit", seed, w, parErr)
 			}
@@ -338,7 +339,7 @@ func TestDifferentialCheckLimitErrors(t *testing.T) {
 	for seed := int64(0); seed < 15; seed++ {
 		rng := rand.New(rand.NewSource(base + 500 + seed))
 		a := randSystem(rng, seed)
-		full, err := explore.Reach(a, explore.DefaultLimit)
+		full, err := explore.New(explore.Options{Workers: 1, Limit: explore.DefaultLimit}).Reach(context.Background(), a)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -347,12 +348,12 @@ func TestDifferentialCheckLimitErrors(t *testing.T) {
 		}
 		limit := len(full) / 2
 		pred := func(ioa.State) bool { return true }
-		_, seqErr := explore.CheckInvariant(a, limit, pred)
+		_, seqErr := explore.New(explore.Options{Workers: 1, Limit: limit}).CheckInvariant(context.Background(), a, pred)
 		if !errors.Is(seqErr, explore.ErrLimit) {
 			t.Fatalf("seed %d: sequential err = %v, want explore.ErrLimit", seed, seqErr)
 		}
 		for _, w := range diffWorkers {
-			pv, parErr := explore.ParallelCheck(a, explore.Options{Workers: w, Limit: limit}, pred)
+			pv, parErr := parallelCheck(a, explore.Options{Workers: w, Limit: limit}, pred)
 			if pv != nil {
 				t.Fatalf("seed %d workers %d: tautology produced violation %v", seed, w, pv)
 			}
@@ -382,12 +383,12 @@ func TestDifferentialRealSystems(t *testing.T) {
 	}
 	systems["arbiterA3"] = sys.A3
 	for name, a := range systems {
-		seq, err := explore.Reach(a, explore.DefaultLimit)
+		seq, err := explore.New(explore.Options{Workers: 1, Limit: explore.DefaultLimit}).Reach(context.Background(), a)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, w := range diffWorkers {
-			par, err := explore.ParallelReach(a, explore.Options{Workers: w})
+			par, err := parallelReach(a, explore.Options{Workers: w})
 			if err != nil {
 				t.Fatalf("%s workers %d: %v", name, w, err)
 			}
@@ -398,11 +399,11 @@ func TestDifferentialRealSystems(t *testing.T) {
 		// state" — false exactly once.
 		victim := seq[len(seq)-1].Key()
 		pred := func(s ioa.State) bool { return s.Key() != victim }
-		sv, err := explore.CheckInvariant(a, explore.DefaultLimit, pred)
+		sv, err := explore.New(explore.Options{Workers: 1, Limit: explore.DefaultLimit}).CheckInvariant(context.Background(), a, pred)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pv, err := explore.ParallelCheck(a, explore.Options{Workers: 4}, pred)
+		pv, err := parallelCheck(a, explore.Options{Workers: 4}, pred)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -422,16 +423,16 @@ func TestDifferentialRealSystems(t *testing.T) {
 // state sets either way.
 func TestReachOptsDispatch(t *testing.T) {
 	a := figures.Fig21()
-	seq, err := explore.ReachOpts(a, explore.Options{Workers: 1})
+	seq, err := explore.New(explore.Options{Workers: 1}).Reach(context.Background(), a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := explore.ReachOpts(a, explore.Options{Workers: 4})
+	par, err := explore.New(explore.Options{Workers: 4}).Reach(context.Background(), a)
 	if err != nil {
 		t.Fatal(err)
 	}
 	assertSameSet(t, "dispatch", seq, par)
-	if v, err := explore.CheckInvariantOpts(a, explore.Options{Workers: 4}, func(ioa.State) bool { return true }); err != nil || v != nil {
+	if v, err := explore.New(explore.Options{Workers: 4}).CheckInvariant(context.Background(), a, func(ioa.State) bool { return true }); err != nil || v != nil {
 		t.Fatalf("CheckInvariantOpts: v=%v err=%v", v, err)
 	}
 }

@@ -73,6 +73,21 @@ type Options struct {
 	// the automaton — see the reduce package, whose differential
 	// battery enforces both obligations).
 	Canon store.Canonicalizer
+	// Spill, when non-nil, backs every seen set with the disk-spilling
+	// store implementation (store.NewSpill) instead of the in-RAM
+	// arena: interned encodings flush to delta-encoded sorted runs once
+	// the hot batch exceeds its byte budget, and membership probes
+	// merge-on-lookup across the runs. Exploration results are
+	// bit-identical to the arena backend — the differential battery
+	// pins it — at bounded RAM. Canon is threaded through
+	// automatically; a set Spill.Canon is ignored.
+	Spill *store.SpillOptions
+	// Decode rebuilds a state from its canonical encoding. It is only
+	// required by Census's external mode, which keeps frontiers on disk
+	// as encodings and must re-expand them; systems whose encodings are
+	// self-describing (KeyState systems, internal/grid) provide it
+	// trivially. Reach and CheckInvariant never call it.
+	Decode func(enc []byte) (ioa.State, error)
 	// Ample, when non-nil, enables partial-order reduction: each
 	// explorer goroutine mints one selector and filters every state's
 	// sorted enabled-action list through it before stepping. The
@@ -139,8 +154,26 @@ func (e *Engine) now() time.Time {
 	return e.opts.Obs.Tracer.Now()
 }
 
+// newSeen builds the engine's seen set: the disk-spilling store when
+// Options.Spill is set, the in-RAM arena otherwise. The engine's Canon
+// is threaded into either backend.
+func (e *Engine) newSeen() (store.SeenSet, error) {
+	if e.opts.Spill != nil {
+		o := *e.opts.Spill
+		o.Canon = e.opts.Canon
+		return store.NewSpill(o)
+	}
+	return store.New(store.Options{Canon: e.opts.Canon}), nil
+}
+
+// seenErr wraps a latched storage error for return from an engine
+// method.
+func seenErr(a ioa.Automaton, err error) error {
+	return fmt.Errorf("explore: %s: storage: %w", a.Name(), err)
+}
+
 // storeGauges publishes the store's occupancy to the obs gauges.
-func storeGauges(o *obs.Obs, st *store.Store) {
+func storeGauges(o *obs.Obs, st store.SeenSet) {
 	if o == nil {
 		return
 	}
@@ -148,6 +181,8 @@ func storeGauges(o *obs.Obs, st *store.Store) {
 	o.Store.Occupancy.Set(int64(s.States))
 	o.Store.ArenaBytes.Set(s.ArenaBytes)
 	o.Store.ArenaCapBytes.Set(s.ArenaCapBytes)
+	o.Store.SpilledBytes.Set(s.SpilledBytes)
+	o.Store.SpillRuns.Set(int64(s.SpillRuns))
 }
 
 // seqProgressStride is how many expanded states separate progress
@@ -159,18 +194,19 @@ const seqProgressStride = 8192
 // emitSeqProgress publishes one sequential-sweep progress snapshot:
 // admitted states, the unexpanded suffix as the frontier, and the
 // store footprint. Raw counts only — the ledger derives rates.
-func emitSeqProgress(o *obs.Obs, admitted, expanded int, st *store.Store, done bool) {
+func emitSeqProgress(o *obs.Obs, admitted, expanded int, st store.SeenSet, done bool) {
 	if o == nil {
 		return
 	}
 	s := st.Stats()
 	o.EmitProgress(obs.Progress{
-		Phase:      "explore",
-		States:     int64(admitted),
-		Frontier:   int64(admitted - expanded),
-		Occupancy:  int64(s.States),
-		ArenaBytes: s.ArenaBytes,
-		Done:       done,
+		Phase:        "explore",
+		States:       int64(admitted),
+		Frontier:     int64(admitted - expanded),
+		Occupancy:    int64(s.States),
+		ArenaBytes:   s.ArenaBytes,
+		SpilledBytes: s.SpilledBytes,
+		Done:         done,
 	})
 }
 
@@ -196,7 +232,7 @@ func (e *Engine) Reach(ctx context.Context, a ioa.Automaton) ([]ioa.State, error
 	if e.opts.workers() <= 1 {
 		return e.reachSeq(ctx, a)
 	}
-	order, _, err := e.parallelExplore(ctx, a, nil)
+	order, _, _, err := e.parallelExplore(ctx, a, nil)
 	return order, err
 }
 
@@ -216,7 +252,7 @@ func (e *Engine) CheckInvariant(ctx context.Context, a ioa.Automaton, pred func(
 	if e.opts.workers() <= 1 {
 		return e.checkSeq(ctx, a, pred)
 	}
-	_, v, err := e.parallelExplore(ctx, a, pred)
+	_, v, _, err := e.parallelExplore(ctx, a, pred)
 	return v, err
 }
 
@@ -279,7 +315,12 @@ func (e *Engine) reachSeq(ctx context.Context, a ioa.Automaton) ([]ioa.State, er
 		defer o.Tracer.Span(0, "explore", "reach-seq "+a.Name())()
 	}
 	scratch := newActionScratch(a)
-	st := store.New(store.Options{Canon: e.opts.Canon})
+	st, err := e.newSeen()
+	if err != nil {
+		return nil, err
+	}
+	//lint:ignore errflow storage failures surface through the sticky Err checks; Close here only releases temp files
+	defer st.Close()
 	var sel func(ioa.State, []ioa.Action, func(ioa.State) bool) []ioa.Action
 	var seen func(ioa.State) bool
 	cursor := 0
@@ -326,6 +367,9 @@ func (e *Engine) reachSeq(ctx context.Context, a ioa.Automaton) ([]ioa.State, er
 			if err := ctx.Err(); err != nil {
 				return order, err
 			}
+			if err := st.Err(); err != nil {
+				return order, seenErr(a, err)
+			}
 			if i&(seqProgressStride-1) == 0 && i > 0 {
 				emitSeqProgress(o, len(order), i, st, false)
 			}
@@ -338,11 +382,17 @@ func (e *Engine) reachSeq(ctx context.Context, a ioa.Automaton) ([]ioa.State, er
 		}
 		for _, act := range acts {
 			if !ioa.VisitNext(a, s, act, yield) {
+				if err := st.Err(); err != nil {
+					return order, seenErr(a, err)
+				}
 				storeGauges(o, st)
 				emitSeqProgress(o, len(order), len(order), st, true)
 				return order, errLimit(a, limit)
 			}
 		}
+	}
+	if err := st.Err(); err != nil {
+		return order, seenErr(a, err)
 	}
 	storeGauges(o, st)
 	if o != nil {
@@ -362,7 +412,12 @@ func (e *Engine) checkSeq(ctx context.Context, a ioa.Automaton, pred func(ioa.St
 		defer o.Tracer.Span(0, "explore", "check-seq "+a.Name())()
 	}
 	scratch := newActionScratch(a)
-	st := store.New(store.Options{Canon: e.opts.Canon})
+	st, err := e.newSeen()
+	if err != nil {
+		return nil, err
+	}
+	//lint:ignore errflow storage failures surface through the sticky Err checks; Close here only releases temp files
+	defer st.Close()
 	var sel func(ioa.State, []ioa.Action, func(ioa.State) bool) []ioa.Action
 	var seen func(ioa.State) bool
 	cursor := 0
@@ -410,6 +465,9 @@ func (e *Engine) checkSeq(ctx context.Context, a ioa.Automaton, pred func(ioa.St
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			if err := st.Err(); err != nil {
+				return nil, seenErr(a, err)
+			}
 			if i&(seqProgressStride-1) == 0 && i > 0 {
 				emitSeqProgress(o, len(nodes), i, st, false)
 			}
@@ -435,6 +493,9 @@ func (e *Engine) checkSeq(ctx context.Context, a ioa.Automaton, pred func(ioa.St
 			curAct = act
 			ioa.VisitNext(a, nodes[i].state, act, yield)
 		}
+	}
+	if err := st.Err(); err != nil {
+		return nil, seenErr(a, err)
 	}
 	storeGauges(o, st)
 	emitSeqProgress(o, len(nodes), len(nodes), st, true)

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ import (
 
 func TestReachPingPong(t *testing.T) {
 	c := figures.Fig21()
-	states, err := Reach(c, 100)
+	states, err := New(Options{Workers: 1, Limit: 100}).Reach(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestReachLimit(t *testing.T) {
 		func(ioa.State) bool { return true },
 		func(s ioa.State) ioa.State { return ioa.KeyState(s.Key() + "x") })
 	a := d.MustBuild()
-	_, err := Reach(a, 10)
+	_, err := New(Options{Workers: 1, Limit: 10}).Reach(context.Background(), a)
 	if !errors.Is(err, ErrLimit) {
 		t.Errorf("want ErrLimit, got %v", err)
 	}
@@ -38,7 +39,7 @@ func TestReachLimit(t *testing.T) {
 func TestCheckInvariantWitness(t *testing.T) {
 	c := figures.Fig21()
 	// A deliberately false invariant: "B never reaches b1".
-	v, err := CheckInvariant(c, 100, func(s ioa.State) bool {
+	v, err := New(Options{Workers: 1, Limit: 100}).CheckInvariant(context.Background(), c, func(s ioa.State) bool {
 		ts := s.(*ioa.TupleState)
 		return ts.At(1).Key() != "b1"
 	})
@@ -55,7 +56,7 @@ func TestCheckInvariantWitness(t *testing.T) {
 		t.Error("witness trace must end at the violating state")
 	}
 	// A true invariant: components stay in lock step.
-	v, err = CheckInvariant(c, 100, func(s ioa.State) bool {
+	v, err = New(Options{Workers: 1, Limit: 100}).CheckInvariant(context.Background(), c, func(s ioa.State) bool {
 		ts := s.(*ioa.TupleState)
 		return (ts.At(0).Key() == "a0") == (ts.At(1).Key() == "b0")
 	})
@@ -74,7 +75,7 @@ func TestDeadlocks(t *testing.T) {
 		[]ioa.Step{{From: ioa.KeyState("s"), Act: "go", To: ioa.KeyState("t")}},
 		[]ioa.Class{{Name: "c", Actions: ioa.NewSet("go")}},
 	)
-	dl, err := Deadlocks(a, 100)
+	dl, err := New(Options{Workers: 1, Limit: 100}).Deadlocks(context.Background(), a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestDeadlocks(t *testing.T) {
 
 func TestBehaviorsPingPong(t *testing.T) {
 	c := figures.Fig21()
-	m, err := Behaviors(c, 4)
+	m, err := New(Options{Workers: 1}).Behaviors(context.Background(), c, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestBehaviorsPingPong(t *testing.T) {
 
 func TestBehaviorsHidesInternals(t *testing.T) {
 	c := ioa.Hide(figures.Fig21(), ioa.NewSet(figures.Beta))
-	m, err := Behaviors(c, 4)
+	m, err := New(Options{Workers: 1}).Behaviors(context.Background(), c, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestBehaviorsHidesInternals(t *testing.T) {
 
 func TestSchedulesIncludesInternals(t *testing.T) {
 	c := ioa.Hide(figures.Fig21(), ioa.NewSet(figures.Beta))
-	m, err := Schedules(c, 2)
+	m, err := New(Options{Workers: 1}).Schedules(context.Background(), c, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestSchedulesIncludesInternals(t *testing.T) {
 
 func TestExecsEnumeration(t *testing.T) {
 	c := figures.Fig21()
-	mod, err := Execs(c, 3)
+	mod, err := New(Options{Workers: 1}).Execs(context.Background(), c, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestFigure23FairVsUnfair(t *testing.T) {
 	cAut, dAut := figures.Fig23C(), figures.Fig23D(6)
 
 	t.Run("A,B unfairly equivalent", func(t *testing.T) {
-		same, witness, err := SameBehaviors(a, b, 5)
+		same, witness, err := New(Options{Workers: 1}).SameBehaviors(context.Background(), a, b, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,14 +169,14 @@ func TestFigure23FairVsUnfair(t *testing.T) {
 
 	t.Run("A,B fairly inequivalent: α^ω fair only for A", func(t *testing.T) {
 		alphaOnly := func(act ioa.Action) bool { return act == figures.Alpha }
-		lasso, err := FindLasso(a, 100, alphaOnly, true)
+		lasso, err := New(Options{Workers: 1, Limit: 100}).FindLasso(context.Background(), a, alphaOnly, true)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if lasso == nil {
 			t.Error("A must have a fair all-α lasso (α^ω ∈ fbeh(A))")
 		}
-		lasso, err = FindLasso(b, 100, alphaOnly, true)
+		lasso, err = New(Options{Workers: 1, Limit: 100}).FindLasso(context.Background(), b, alphaOnly, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,7 +185,7 @@ func TestFigure23FairVsUnfair(t *testing.T) {
 		}
 		// Without the fairness requirement B does have an α-cycle:
 		// the distinction is exactly fairness.
-		lasso, err = FindLasso(b, 100, alphaOnly, false)
+		lasso, err = New(Options{Workers: 1, Limit: 100}).FindLasso(context.Background(), b, alphaOnly, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,7 +199,7 @@ func TestFigure23FairVsUnfair(t *testing.T) {
 		// lassos exist and end pumping α after β.
 		any := func(ioa.Action) bool { return true }
 		for name, aut := range map[string]ioa.Automaton{"C": cAut, "D": dAut} {
-			lasso, err := FindLasso(aut, 100, any, true)
+			lasso, err := New(Options{Workers: 1, Limit: 100}).FindLasso(context.Background(), aut, any, true)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -223,7 +224,7 @@ func TestFigure23FairVsUnfair(t *testing.T) {
 		alphaOnly := func(act ioa.Action) bool { return act == figures.Alpha }
 		// C: an all-α cycle reachable without β (i.e. from the start
 		// state itself).
-		lasso, err := FindLasso(cAut, 100, alphaOnly, false)
+		lasso, err := New(Options{Workers: 1, Limit: 100}).FindLasso(context.Background(), cAut, alphaOnly, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -232,11 +233,11 @@ func TestFigure23FairVsUnfair(t *testing.T) {
 		}
 		// D: every α-run from the start without β is bounded; check
 		// α^m behaviors cut off at the truncation bound.
-		mC, err := Behaviors(cAut, 8)
+		mC, err := New(Options{Workers: 1}).Behaviors(context.Background(), cAut, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
-		mD, err := Behaviors(dAut, 8)
+		mD, err := New(Options{Workers: 1}).Behaviors(context.Background(), dAut, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -261,7 +262,7 @@ func TestFigure23FairVsUnfair(t *testing.T) {
 
 func TestEnabledReport(t *testing.T) {
 	c := figures.Fig21()
-	rep, err := EnabledReport(c, 10)
+	rep, err := New(Options{Workers: 1, Limit: 10}).EnabledReport(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +278,7 @@ func TestEnabledReport(t *testing.T) {
 
 func TestWriteDOT(t *testing.T) {
 	var sb strings.Builder
-	if err := WriteDOT(&sb, figures.Fig21(), 100); err != nil {
+	if err := New(Options{Workers: 1, Limit: 100}).WriteDOT(context.Background(), &sb, figures.Fig21()); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -288,7 +289,7 @@ func TestWriteDOT(t *testing.T) {
 	}
 	// Hidden actions draw dashed.
 	var sb2 strings.Builder
-	if err := WriteDOT(&sb2, ioa.Hide(figures.Fig21(), ioa.NewSet(figures.Beta)), 100); err != nil {
+	if err := New(Options{Workers: 1, Limit: 100}).WriteDOT(context.Background(), &sb2, ioa.Hide(figures.Fig21(), ioa.NewSet(figures.Beta))); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb2.String(), "style=dashed") {

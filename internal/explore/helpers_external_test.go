@@ -1,0 +1,16 @@
+package explore_test
+
+import (
+	"repro/internal/explore"
+	"repro/internal/ioa"
+)
+
+// Shorthands over the package-level test bridges in export_test.go.
+
+func parallelReach(a ioa.Automaton, opts explore.Options) ([]ioa.State, error) {
+	return explore.ParallelReachForTest(a, opts)
+}
+
+func parallelCheck(a ioa.Automaton, opts explore.Options, pred func(ioa.State) bool) (*explore.Violation, error) {
+	return explore.ParallelCheckForTest(a, opts, pred)
+}

@@ -47,7 +47,7 @@ func benchReach(b *testing.B, opts Options, instrument bool) {
 		if instrument {
 			ioa.SetObsDeep(a, opts.Obs)
 		}
-		states, err := ParallelReach(a, opts)
+		states, err := ParallelReachForTest(a, opts)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -113,14 +113,12 @@ func sortCandsByKey(cands []cand) {
 	sort.Slice(cands, func(i, j int) bool { return cands[i].state.Key() < cands[j].state.Key() })
 }
 
-func errNilPred() error { return fmt.Errorf("explore: ParallelCheck: nil predicate") }
-
 // parallelExplore is the shared engine under the parallel Reach and
 // CheckInvariant paths. When pred is non-nil it is evaluated on every
 // level in canonical order and the first failing state is returned as
 // a Violation with a witness built from the canonical crumb chain.
 // Cancellation is checked at level granularity.
-func (e *Engine) parallelExplore(ctx context.Context, a ioa.Automaton, pred func(ioa.State) bool) ([]ioa.State, *Violation, error) {
+func (e *Engine) parallelExplore(ctx context.Context, a ioa.Automaton, pred func(ioa.State) bool) ([]ioa.State, *Violation, int, error) {
 	ctx = ctxOr(ctx)
 	w := e.opts.workers()
 	if w < 1 {
@@ -136,12 +134,18 @@ func (e *Engine) parallelExplore(ctx context.Context, a ioa.Automaton, pred func
 		defer o.Tracer.Span(0, "explore", "explore "+a.Name())()
 	}
 	inputs := a.Sig().Inputs().Sorted()
-	gst := store.New(store.Options{Canon: e.opts.Canon})
+	gst, err := e.newSeen()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	//lint:ignore errflow storage failures surface through the sticky Err checks; Close here only releases temp files
+	defer gst.Close()
+	maxDepth := 0          // last completed BFS level
 	var states []ioa.State // indexed by ID; also the returned order
 	var crumbs []crumb     // indexed by ID
-	probes := make([]*store.Probe, w)
+	probes := make([]store.MemberProbe, w)
 	for i := range probes {
-		probes[i] = gst.NewProbe()
+		probes[i] = gst.Probe()
 	}
 
 	// Level 0: the start states, canonically sorted then interned in
@@ -159,22 +163,25 @@ func (e *Engine) parallelExplore(ctx context.Context, a ioa.Automaton, pred func
 			level = append(level, id)
 		}
 	}
+	if err := gst.Err(); err != nil {
+		return nil, nil, 0, seenErr(a, err)
+	}
 	storeGauges(o, gst)
 	if o != nil {
 		o.Explore.States.Add(int64(len(states)))
 	}
 	if pred != nil {
 		if v := checkLevel(a, states, crumbs, 0, pred); v != nil {
-			return states, v, nil
+			return states, v, maxDepth, nil
 		}
 		if len(states) >= limit {
-			return states, nil, errLimit(a, limit)
+			return states, nil, maxDepth, errLimit(a, limit)
 		}
 	}
 
 	for depth := 1; len(level) > 0; depth++ {
 		if err := ctx.Err(); err != nil {
-			return states, nil, err
+			return states, nil, maxDepth, err
 		}
 		var traceStart, levelStart time.Time
 		if o != nil {
@@ -185,6 +192,12 @@ func (e *Engine) parallelExplore(ctx context.Context, a ioa.Automaton, pred func
 			}
 		}
 		next := e.expandLevel(a, gst, inputs, states, level, probes, depth, o)
+		if err := gst.Err(); err != nil {
+			// A worker's probe latched a storage failure during the
+			// frozen phase: the candidate set may be incomplete, so the
+			// level is abandoned.
+			return states, nil, maxDepth, seenErr(a, err)
+		}
 		if o != nil {
 			o.Explore.Levels.Add(1)
 			o.Explore.Frontier.Observe(int64(len(level)))
@@ -206,12 +219,13 @@ func (e *Engine) parallelExplore(ctx context.Context, a ioa.Automaton, pred func
 			// An unseen state exists beyond a full budget: the
 			// sequential contract returns the partial result as-is.
 			storeGauges(o, gst)
-			return states, nil, errLimit(a, limit)
+			return states, nil, maxDepth, errLimit(a, limit)
 		}
 		over := len(next) > room
 		if over {
 			next = next[:room]
 		}
+		maxDepth = depth
 		from := len(states)
 		level = level[:0]
 		for _, c := range next {
@@ -220,6 +234,9 @@ func (e *Engine) parallelExplore(ctx context.Context, a ioa.Automaton, pred func
 			crumbs = append(crumbs, crumb{parent: c.parent, act: c.act})
 			level = append(level, id)
 		}
+		if err := gst.Err(); err != nil {
+			return states[:from], nil, maxDepth, seenErr(a, err)
+		}
 		storeGauges(o, gst)
 		if o != nil {
 			o.Explore.States.Add(int64(len(next)))
@@ -227,40 +244,41 @@ func (e *Engine) parallelExplore(ctx context.Context, a ioa.Automaton, pred func
 		}
 		if pred != nil {
 			if v := checkLevel(a, states, crumbs, from, pred); v != nil {
-				return states, v, nil
+				return states, v, maxDepth, nil
 			}
 		}
 		if over {
-			return states, nil, errLimit(a, limit)
+			return states, nil, maxDepth, errLimit(a, limit)
 		}
 		if pred != nil && len(states) >= limit {
 			// Mirror CheckInvariant's stricter budget check: it errors
 			// once the node store is full even when the frontier is
 			// about to empty.
-			return states, nil, errLimit(a, limit)
+			return states, nil, maxDepth, errLimit(a, limit)
 		}
 	}
 	storeGauges(o, gst)
 	if o != nil {
 		emitLevelProgress(o, gst, 0, len(states), 0, true)
 	}
-	return states, nil, nil
+	return states, nil, maxDepth, nil
 }
 
 // emitLevelProgress publishes one barrier progress snapshot: the
 // completed depth, total admitted states, the freshly interned
 // frontier, and the store footprint. Only called with o non-nil, from
 // the coordinator — the level barrier, so no worker races it.
-func emitLevelProgress(o *obs.Obs, gst *store.Store, depth, states, frontier int, done bool) {
+func emitLevelProgress(o *obs.Obs, gst store.SeenSet, depth, states, frontier int, done bool) {
 	s := gst.Stats()
 	o.EmitProgress(obs.Progress{
-		Phase:      "explore",
-		Depth:      int64(depth),
-		States:     int64(states),
-		Frontier:   int64(frontier),
-		Occupancy:  int64(s.States),
-		ArenaBytes: s.ArenaBytes,
-		Done:       done,
+		Phase:        "explore",
+		Depth:        int64(depth),
+		States:       int64(states),
+		Frontier:     int64(frontier),
+		Occupancy:    int64(s.States),
+		ArenaBytes:   s.ArenaBytes,
+		SpilledBytes: s.SpilledBytes,
+		Done:         done,
 	})
 }
 
@@ -271,8 +289,8 @@ func emitLevelProgress(o *obs.Obs, gst *store.Store, depth, states, frontier int
 // through their per-worker probes; merge-time dedup runs one goroutine
 // per shard over hash-routed outboxes, comparing encodings byte-wise
 // against a per-shard scratch arena (hashes route, bytes decide).
-func (e *Engine) expandLevel(a ioa.Automaton, gst *store.Store, inputs []ioa.Action, states []ioa.State,
-	level []store.ID, probes []*store.Probe, depth int, o *obs.Obs) []cand {
+func (e *Engine) expandLevel(a ioa.Automaton, gst store.SeenSet, inputs []ioa.Action, states []ioa.State,
+	level []store.ID, probes []store.MemberProbe, depth int, o *obs.Obs) []cand {
 	w := len(probes)
 	// outboxes[worker][shard] holds candidate crumbs.
 	outboxes := make([][][]cand, w)

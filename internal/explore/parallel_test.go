@@ -27,9 +27,6 @@ func TestOptionsResolution(t *testing.T) {
 }
 
 func TestParallelCheckNilPred(t *testing.T) {
-	if _, err := ParallelCheck(nil, Options{}, nil); err == nil {
-		t.Fatal("nil predicate accepted")
-	}
 	e := New(Options{Workers: 1})
 	if _, err := e.CheckInvariant(nil, nil, nil); err == nil {
 		t.Fatal("Engine.CheckInvariant accepted nil predicate")

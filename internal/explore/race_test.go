@@ -5,6 +5,7 @@ package explore_test
 // both the degenerate (single-P) and genuinely concurrent schedules.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -39,13 +40,13 @@ func withGOMAXPROCS(t *testing.T, procs []int, f func(t *testing.T)) {
 func TestRaceParallelReachPingPong(t *testing.T) {
 	withGOMAXPROCS(t, []int{1, 2, 4}, func(t *testing.T) {
 		a := figures.Fig21()
-		want, err := explore.Reach(a, explore.DefaultLimit)
+		want, err := explore.New(explore.Options{Workers: 1, Limit: explore.DefaultLimit}).Reach(context.Background(), a)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for iter := 0; iter < 20; iter++ {
 			for _, w := range []int{2, 4, 8} {
-				got, err := explore.ParallelReach(a, explore.Options{Workers: w, Dedup: iter%2 == 0})
+				got, err := parallelReach(a, explore.Options{Workers: w, Dedup: iter%2 == 0})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -76,13 +77,13 @@ func TestRaceParallelReachArbiterA3r(t *testing.T) {
 		t.Fatal(err)
 	}
 	const budget = 2000
-	want, err := explore.Reach(h.A3R, budget)
+	want, err := explore.New(explore.Options{Workers: 1, Limit: budget}).Reach(context.Background(), h.A3R)
 	if !errors.Is(err, explore.ErrLimit) {
 		t.Fatalf("sequential Reach err = %v, want ErrLimit (A3R should exceed %d states)", err, budget)
 	}
 	withGOMAXPROCS(t, []int{1, 4}, func(t *testing.T) {
 		for _, w := range []int{2, 8} {
-			got, gotErr := explore.ParallelReach(h.A3R, explore.Options{Workers: w, Limit: budget})
+			got, gotErr := parallelReach(h.A3R, explore.Options{Workers: w, Limit: budget})
 			if (gotErr == nil) != (err == nil) {
 				t.Fatalf("workers %d: err = %v, sequential err = %v", w, gotErr, err)
 			}
@@ -105,7 +106,7 @@ func TestRaceSharedCompositeMemo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := explore.Reach(sys.A3, explore.DefaultLimit)
+	want, err := explore.New(explore.Options{Workers: 1, Limit: explore.DefaultLimit}).Reach(context.Background(), sys.A3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestRaceSharedCompositeMemo(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			got, err := explore.ParallelReach(sys.A3, explore.Options{Workers: 1 + g%4})
+			got, err := parallelReach(sys.A3, explore.Options{Workers: 1 + g%4})
 			if err != nil {
 				errs <- err
 				return
@@ -143,15 +144,14 @@ func TestRaceMemoMixedSequentialParallel(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := explore.Reach(a, explore.DefaultLimit); err != nil {
+			if _, err := explore.New(explore.Options{Workers: 1, Limit: explore.DefaultLimit}).Reach(context.Background(), a); err != nil {
 				t.Error(err)
 			}
 		}()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := explore.ParallelCheck(a, explore.Options{Workers: 4},
-				func(ioa.State) bool { return true })
+			v, err := parallelCheck(a, explore.Options{Workers: 4}, func(ioa.State) bool { return true })
 			if err != nil || v != nil {
 				t.Errorf("v=%v err=%v", v, err)
 			}

@@ -10,6 +10,7 @@ package ioa_test
 // explores beyond the seed corpus under testdata/fuzz/.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -52,7 +53,7 @@ func fuzzAutomaton(rng *rand.Rand, shape uint8, name string, in, out, internal [
 
 func fuzzSchedules(t *testing.T, a ioa.Automaton) *ioa.SchedModule {
 	t.Helper()
-	m, err := explore.Schedules(a, fuzzDepth)
+	m, err := explore.New(explore.Options{Workers: 1}).Schedules(context.Background(), a, fuzzDepth)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func FuzzComposeLaws(f *testing.F) {
 
 		// Corollary 3 on the pairwise composition: enabled iff a step
 		// exists, state by state.
-		states, err := explore.Reach(ab, 512)
+		states, err := explore.New(explore.Options{Workers: 1, Limit: 512}).Reach(context.Background(), ab)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -185,11 +186,11 @@ func FuzzHideRename(f *testing.F) {
 				t.Fatalf("schedule %v lost by hiding", ioa.TraceString(tr))
 			}
 		}
-		ba, err := explore.Behaviors(a, fuzzDepth)
+		ba, err := explore.New(explore.Options{Workers: 1}).Behaviors(context.Background(), a, fuzzDepth)
 		if err != nil {
 			t.Fatal(err)
 		}
-		bh, err := explore.Behaviors(hidden, fuzzDepth)
+		bh, err := explore.New(explore.Options{Workers: 1}).Behaviors(context.Background(), hidden, fuzzDepth)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -277,14 +277,27 @@ func (l *Ledger) deriveLocked(p obs.Progress, now time.Time) Snapshot {
 		// Nothing left to estimate.
 	case p.Total > p.States:
 		snap.ETANS = int64(float64(p.Total-p.States) / rate * 1e9)
-	case p.Frontier > 0 && prev.Frontier > 0 && p.Frontier < prev.Frontier:
+	default:
 		// Open-ended BFS with a shrinking frontier: extrapolate the
-		// remaining work as the geometric tail with per-snapshot decay
+		// remaining work as the geometric tail with per-level decay
 		// g = cur/prev, i.e. frontier·g/(1−g) states to go. Crude, but
 		// it turns "frontier is collapsing" into a number.
-		g := float64(p.Frontier) / float64(prev.Frontier)
-		remaining := float64(p.Frontier) * g / (1 - g)
-		snap.ETANS = int64(remaining / rate * 1e9)
+		//
+		// The decay base is the most recent *reading* (l.last), not the
+		// previously journaled snapshot: engines report the live
+		// Frontier.Len() every level, and under snapshot throttling the
+		// journaled prev can be many levels stale — on a spilled walk
+		// the frontier shrinks across the gap and the stale ratio
+		// inflates g far past the true per-level decay.
+		base := prev
+		if l.last != nil && l.last.Phase == p.Phase {
+			base = l.last
+		}
+		if p.Frontier > 0 && base.Frontier > 0 && p.Frontier < base.Frontier {
+			g := float64(p.Frontier) / float64(base.Frontier)
+			remaining := float64(p.Frontier) * g / (1 - g)
+			snap.ETANS = int64(remaining / rate * 1e9)
+		}
 	}
 	return snap
 }

@@ -183,6 +183,42 @@ func TestEtaGeometricFrontier(t *testing.T) {
 	}
 }
 
+// TestEtaGeometricLiveFrontier pins the spill-era fix: the decay base
+// is the most recent reading, not the last journaled snapshot. Under
+// throttling the journaled prev can be many levels stale, and a ratio
+// taken against it compounds several levels of shrinkage into one
+// bogus per-level g.
+func TestEtaGeometricLiveFrontier(t *testing.T) {
+	clk := newFakeClock()
+	var buf bytes.Buffer
+	l := New(&buf, Options{Now: clk.now, MinInterval: 10 * time.Second})
+	l.OnProgress(obs.Progress{Phase: "census", States: 1000, Frontier: 1600}) // journaled (first)
+	for _, p := range []obs.Progress{
+		{Phase: "census", States: 2000, Frontier: 800}, // throttled readings,
+		{Phase: "census", States: 3000, Frontier: 400}, // one per level
+	} {
+		clk.advance(time.Second)
+		l.OnProgress(p)
+	}
+	clk.advance(8 * time.Second)
+	l.OnProgress(obs.Progress{Phase: "census", States: 4000, Frontier: 200}) // journaled (due)
+	entries, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("journaled %d entries, want 2", len(entries))
+	}
+	// Rate spans the journaled gap: 3000 states / 11s ≈ 273/s. Decay vs
+	// the live previous reading is g = 200/400 = 0.5, so remaining ≈
+	// 200·0.5/0.5 = 200 states ≈ 733ms. The stale journaled base would
+	// give g = 200/1600 = 0.125 and ≈ 105ms instead.
+	got := time.Duration(entries[1].Snapshot.ETANS)
+	if got < 600*time.Millisecond || got > 900*time.Millisecond {
+		t.Fatalf("geometric ETA = %v, want ~733ms (live-frontier decay)", got)
+	}
+}
+
 func TestEchoLines(t *testing.T) {
 	clk := newFakeClock()
 	var echo bytes.Buffer

@@ -1,6 +1,7 @@
 package mutex
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/explore"
@@ -98,7 +99,7 @@ func TestMutualExclusionExhaustive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := explore.CheckInvariant(explore.ClosedWorld(closed), 5000000, func(s ioa.State) bool {
+	v, err := explore.New(explore.Options{Workers: 1, Limit: 5000000}).CheckInvariant(context.Background(), explore.ClosedWorld(closed), func(s ioa.State) bool {
 		ts := s.(*ioa.TupleState)
 		return sys.InCritCount(ts.At(0)) <= 1
 	})
@@ -124,7 +125,7 @@ func TestOpenWorldEnvironmentCanBreakMutex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := explore.CheckInvariant(closed, 5000000, func(s ioa.State) bool {
+	v, err := explore.New(explore.Options{Workers: 1, Limit: 5000000}).CheckInvariant(context.Background(), closed, func(s ioa.State) bool {
 		ts := s.(*ioa.TupleState)
 		return sys.InCritCount(ts.At(0)) <= 1
 	})
@@ -252,7 +253,7 @@ func TestFaultyRegisterBreaksMutex(t *testing.T) {
 		inner := ts.At(0).(*ioa.TupleState)
 		return inner.At(i).(*procState).pc == pcInCrit
 	}
-	v, err := explore.CheckInvariant(explore.ClosedWorld(closed), 5000000, func(s ioa.State) bool {
+	v, err := explore.New(explore.Options{Workers: 1, Limit: 5000000}).CheckInvariant(context.Background(), explore.ClosedWorld(closed), func(s ioa.State) bool {
 		ts := s.(*ioa.TupleState)
 		return !(inCrit(ts, 0) && inCrit(ts, 1))
 	})

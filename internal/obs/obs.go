@@ -19,6 +19,7 @@ package obs
 
 import (
 	"expvar"
+	"fmt"
 	"sync"
 	"time"
 
@@ -46,6 +47,7 @@ type Obs struct {
 	Store     *StoreMetrics
 	Stabilize *StabilizeMetrics
 	Induct    *InductMetrics
+	Dist      *DistMetrics
 
 	// Progress, when non-nil, receives in-flight Progress snapshots
 	// from the engines (BFS barriers, the induct streaming loop).
@@ -76,6 +78,7 @@ func New(clock func() time.Time) *Obs {
 		Store:     newStoreMetrics(reg),
 		Stabilize: newStabilizeMetrics(reg),
 		Induct:    newInductMetrics(reg),
+		Dist:      newDistMetrics(reg),
 		clock:     clock,
 	}
 }
@@ -232,6 +235,11 @@ type StoreMetrics struct {
 	// ArenaCapBytes is the total reserved arena capacity; the slack
 	// over ArenaBytes is append-growth overshoot.
 	ArenaCapBytes *Gauge
+	// SpilledBytes is the on-disk run volume of a disk-spilling seen
+	// set (store.Spill); 0 while exploring in RAM.
+	SpilledBytes *Gauge
+	// SpillRuns is the number of sorted runs the spill set holds.
+	SpillRuns *Gauge
 }
 
 func newStoreMetrics(r *Registry) *StoreMetrics {
@@ -239,6 +247,8 @@ func newStoreMetrics(r *Registry) *StoreMetrics {
 		Occupancy:     r.Gauge("store.occupancy"),
 		ArenaBytes:    r.Gauge("store.arena_bytes"),
 		ArenaCapBytes: r.Gauge("store.arena_cap_bytes"),
+		SpilledBytes:  r.Gauge("store.spilled_bytes"),
+		SpillRuns:     r.Gauge("store.spill_runs"),
 	}
 }
 
@@ -321,6 +331,53 @@ func (m *InductMetrics) Obligations(conjunct string, n int64) {
 	}
 	m.mu.Unlock()
 	c.Add(n)
+}
+
+// DistMetrics instruments the multi-process cluster coordinator
+// (internal/cluster): level barriers, cross-process candidate volume,
+// cumulative barrier wait, and a per-rank shard-occupancy gauge for
+// balance monitoring.
+type DistMetrics struct {
+	// Levels counts completed cluster-wide level barriers.
+	Levels *Counter
+	// SentEncs counts candidate encodings routed between processes.
+	SentEncs *Counter
+	// BarrierWaitNS accumulates worker time spent blocked at level
+	// barriers, summed across ranks.
+	BarrierWaitNS *Counter
+	// Procs is the worker process count of the current run.
+	Procs *Gauge
+
+	reg    *Registry
+	mu     sync.Mutex
+	shards map[int]*Gauge
+}
+
+func newDistMetrics(r *Registry) *DistMetrics {
+	return &DistMetrics{
+		Levels:        r.Counter("dist.levels"),
+		SentEncs:      r.Counter("dist.sent_encs"),
+		BarrierWaitNS: r.Counter("dist.barrier_wait_ns"),
+		Procs:         r.Gauge("dist.procs"),
+		reg:           r,
+		shards:        make(map[int]*Gauge),
+	}
+}
+
+// ShardStates sets rank's shard occupancy. The per-rank gauges appear
+// in snapshots as "dist.shard_states.<rank>".
+func (m *DistMetrics) ShardStates(rank int, states int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	g, ok := m.shards[rank]
+	if !ok {
+		g = m.reg.Gauge(fmt.Sprintf("dist.shard_states.%d", rank))
+		m.shards[rank] = g
+	}
+	m.mu.Unlock()
+	g.Set(states)
 }
 
 // ProofMetrics instruments the possibilities-mapping checker.

@@ -27,6 +27,12 @@ type Progress struct {
 	// states and encoded arena payload.
 	Occupancy  int64 `json:"occupancy,omitempty"`
 	ArenaBytes int64 `json:"arena_bytes,omitempty"`
+	// SpilledBytes is the on-disk run volume of a disk-spilling seen
+	// set; 0 for in-RAM backends.
+	SpilledBytes int64 `json:"spilled_bytes,omitempty"`
+	// BarrierWaitNS is the cumulative time a distributed worker spent
+	// blocked at level barriers; 0 outside coordinator/worker mode.
+	BarrierWaitNS int64 `json:"barrier_wait_ns,omitempty"`
 	// Done marks the walk's final snapshot. Consumers always record
 	// it, whatever their throttling cadence.
 	Done bool `json:"done,omitempty"`

@@ -1,6 +1,7 @@
 package proof
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/explore"
@@ -92,7 +93,7 @@ func TestLemma25PrimitiveFairImpliesUnfair(t *testing.T) {
 	if !ioa.IsPrimitive(a1) {
 		t.Fatal("Fig23A must be primitive")
 	}
-	same, _, err := explore.SameBehaviors(a1, a2, 4)
+	same, _, err := explore.New(explore.Options{Workers: 1}).SameBehaviors(context.Background(), a1, a2, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

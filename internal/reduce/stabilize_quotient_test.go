@@ -11,6 +11,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/domain"
 	"repro/internal/reduce"
 	"repro/internal/ring"
 	"repro/internal/stabilize"
@@ -24,7 +25,7 @@ func TestCertifyQuotientPreservesBound(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			env := stabilize.Explicit("all-corruptions", r.AllStates())
+			env := domain.Explicit("all-corruptions", r.AllStates())
 			full, err := stabilize.Certify(context.Background(), r.Auto, r.Legit, env,
 				stabilize.Options{Workers: 1})
 			if err != nil {

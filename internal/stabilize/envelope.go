@@ -5,13 +5,11 @@ package stabilize
 // the CrashInner/TupleMap projections — were lifted into the domain
 // package so the induct certification engine (and anything else that
 // quantifies over state spaces) reuses them without an import cycle.
-// The names below survive as deprecated aliases for downstream code;
-// in-repo non-test callers construct domains directly (a CI grep
-// keeps them off this file).
+// Callers construct domains directly; the deprecated aliases that
+// briefly bridged the move are gone.
 
 import (
 	"repro/internal/domain"
-	"repro/internal/ioa"
 )
 
 // An Envelope enumerates the corrupt initial states certification
@@ -19,39 +17,3 @@ import (
 // automaton's state space (projections bridge fault wrappers); the
 // enumeration need not be duplicate-free — Certify deduplicates.
 type Envelope = domain.Domain
-
-// Explicit wraps a fixed state list.
-//
-// Deprecated: use domain.Explicit.
-func Explicit(name string, states []ioa.State) Envelope {
-	return domain.Explicit(name, states)
-}
-
-// Reachable derives the envelope from the reachable states of
-// corrupted, projected and deduplicated in reach order.
-//
-// Deprecated: use domain.Reachable (which takes explore.Options
-// directly).
-func Reachable(name string, corrupted ioa.Automaton, project func(ioa.State) ioa.State, opts Options) Envelope {
-	return domain.Reachable(name, corrupted, project, opts.exploreOptions())
-}
-
-// Union concatenates envelopes under one name.
-//
-// Deprecated: use domain.Union.
-func Union(name string, envs ...Envelope) Envelope {
-	return domain.Union(name, envs...)
-}
-
-// CrashInner projects a faults.CrashState to the wrapped automaton's
-// state.
-//
-// Deprecated: use domain.CrashInner.
-func CrashInner(s ioa.State) ioa.State { return domain.CrashInner(s) }
-
-// TupleMap lifts a per-component projection over composite states.
-//
-// Deprecated: use domain.TupleMap.
-func TupleMap(f func(ioa.State) ioa.State) func(ioa.State) ioa.State {
-	return domain.TupleMap(f)
-}

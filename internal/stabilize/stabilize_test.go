@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/arbiter/spec"
 	"repro/internal/domain"
+	"repro/internal/explore"
 	"repro/internal/faults"
 	"repro/internal/ioa"
 	"repro/internal/obs"
@@ -66,7 +67,7 @@ func isKey(k string) func(ioa.State) bool {
 
 func TestCertifyBoundedChain(t *testing.T) {
 	cert := mustCertify(t, chain4(), isKey("0"),
-		stabilize.Explicit("all", keys("3", "2", "1", "0")))
+		domain.Explicit("all", keys("3", "2", "1", "0")))
 	if !cert.Stabilizing() || !cert.Closed || !cert.Converges || !cert.Bounded {
 		t.Fatalf("chain verdict: %+v", cert)
 	}
@@ -95,7 +96,7 @@ func TestCertifyClosureBreak(t *testing.T) {
 	d.Internal(ioa.Act("leak"), "c",
 		func(s ioa.State) bool { return s.Key() == "ok" },
 		func(ioa.State) ioa.State { return ioa.KeyState("bad") })
-	cert := mustCertify(t, d.MustBuild(), isKey("ok"), stabilize.Explicit("start", keys("ok")))
+	cert := mustCertify(t, d.MustBuild(), isKey("ok"), domain.Explicit("start", keys("ok")))
 	if cert.Closed || cert.Stabilizing() {
 		t.Fatalf("leak not caught: %+v", cert)
 	}
@@ -139,7 +140,7 @@ func spinAuto(withExit bool) ioa.Automaton {
 // under fairness, but a demon spinning arbitrarily long destroys any
 // uniform bound.
 func TestCertifyFairUnbounded(t *testing.T) {
-	cert := mustCertify(t, spinAuto(true), isKey("L"), stabilize.Explicit("a", keys("a")))
+	cert := mustCertify(t, spinAuto(true), isKey("L"), domain.Explicit("a", keys("a")))
 	if !cert.Converges || cert.Bounded || cert.K != -1 {
 		t.Fatalf("fair-unbounded verdict: converges=%v bounded=%v k=%d",
 			cert.Converges, cert.Bounded, cert.K)
@@ -156,7 +157,7 @@ func TestCertifyFairUnbounded(t *testing.T) {
 // performs its only class and is fair-sustainable — convergence is
 // refuted with the cycle as witness.
 func TestCertifyFairCycleRefutes(t *testing.T) {
-	cert := mustCertify(t, spinAuto(false), isKey("L"), stabilize.Explicit("a", keys("a")))
+	cert := mustCertify(t, spinAuto(false), isKey("L"), domain.Explicit("a", keys("a")))
 	if cert.Converges || cert.Stabilizing() {
 		t.Fatal("unreachable L certified convergent")
 	}
@@ -175,7 +176,7 @@ func TestCertifyFairCycleRefutes(t *testing.T) {
 func TestCertifyDeadlockOnly(t *testing.T) {
 	d := ioa.NewDef("stuck")
 	d.Start(ioa.KeyState("d"))
-	cert := mustCertify(t, d.MustBuild(), isKey("L"), stabilize.Explicit("d", keys("d")))
+	cert := mustCertify(t, d.MustBuild(), isKey("L"), domain.Explicit("d", keys("d")))
 	if cert.Converges || cert.Divergence == nil || cert.Divergence.Kind != "deadlock" {
 		t.Fatalf("deadlock verdict: %+v", cert.Divergence)
 	}
@@ -187,17 +188,17 @@ func TestCertifyDeadlockOnly(t *testing.T) {
 func TestCertifyValidation(t *testing.T) {
 	a := chain4()
 	ctx := context.Background()
-	if _, err := stabilize.Certify(ctx, a, nil, stabilize.Explicit("e", keys("0")), seq()); err == nil {
+	if _, err := stabilize.Certify(ctx, a, nil, domain.Explicit("e", keys("0")), seq()); err == nil {
 		t.Fatal("nil legit accepted")
 	}
 	if _, err := stabilize.Certify(ctx, a, isKey("0"), nil, seq()); err == nil {
 		t.Fatal("nil envelope accepted")
 	}
-	if _, err := stabilize.Certify(ctx, a, isKey("0"), stabilize.Explicit("e", nil), seq()); err == nil {
+	if _, err := stabilize.Certify(ctx, a, isKey("0"), domain.Explicit("e", nil), seq()); err == nil {
 		t.Fatal("empty envelope accepted")
 	}
 	if _, err := stabilize.Certify(ctx, a, isKey("0"),
-		stabilize.Explicit("e", keys("3")), stabilize.Options{Workers: 1, Limit: 2}); err == nil {
+		domain.Explicit("e", keys("3")), stabilize.Options{Workers: 1, Limit: 2}); err == nil {
 		t.Fatal("truncated closure accepted")
 	}
 }
@@ -205,9 +206,9 @@ func TestCertifyValidation(t *testing.T) {
 // TestEnvelopeUnionDedup: Certify counts distinct envelope states, so
 // overlapping unions do not inflate the envelope.
 func TestEnvelopeUnionDedup(t *testing.T) {
-	env := stabilize.Union("u",
-		stabilize.Explicit("x", keys("3", "2")),
-		stabilize.Explicit("y", keys("2", "1", "0")))
+	env := domain.Union("u",
+		domain.Explicit("x", keys("3", "2")),
+		domain.Explicit("y", keys("2", "1", "0")))
 	cert := mustCertify(t, chain4(), isKey("0"), env)
 	if cert.EnvelopeStates != 4 || cert.Envelope != "u" {
 		t.Fatalf("union envelope: %d states, name %q", cert.EnvelopeStates, cert.Envelope)
@@ -228,7 +229,7 @@ func TestEnvelopeReachableCrash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env := stabilize.Reachable("crash(t)", crashed, stabilize.CrashInner, seq())
+	env := domain.Reachable("crash(t)", crashed, domain.CrashInner, explore.Options{Workers: 1})
 	states, err := domain.Collect(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
@@ -243,7 +244,7 @@ func TestEnvelopeReachableCrash(t *testing.T) {
 }
 
 func TestTupleMap(t *testing.T) {
-	f := stabilize.TupleMap(func(s ioa.State) ioa.State {
+	f := domain.TupleMap(func(s ioa.State) ioa.State {
 		return ioa.KeyState(s.Key() + "'")
 	})
 	ts := ioa.NewTupleState(keys("x", "y"))
@@ -260,7 +261,7 @@ func TestTupleMap(t *testing.T) {
 func TestCertifyObsMetrics(t *testing.T) {
 	o := obs.New(nil)
 	cert := mustCertify(t, chain4(), isKey("0"),
-		stabilize.Explicit("all", keys("3", "2", "1", "0")),
+		domain.Explicit("all", keys("3", "2", "1", "0")),
 		stabilize.Options{Workers: 1, Obs: o})
 	if o.Stabilize.Runs.Value() != 1 {
 		t.Fatalf("runs %d", o.Stabilize.Runs.Value())
@@ -282,7 +283,7 @@ func dijkstraFull(t *testing.T, n, k int, opts ...stabilize.Options) (*ring.Dijk
 	if err != nil {
 		t.Fatal(err)
 	}
-	env := stabilize.Explicit("all-corruptions", r.AllStates())
+	env := domain.Explicit("all-corruptions", r.AllStates())
 	return r, mustCertify(t, r.Auto, r.Legit, env, opts...)
 }
 
@@ -341,7 +342,7 @@ func TestLeLannCrashRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env := stabilize.Reachable("crash(reset)", crashed, stabilize.TupleMap(stabilize.CrashInner), seq())
+	env := domain.Reachable("crash(reset)", crashed, domain.TupleMap(domain.CrashInner), explore.Options{Workers: 1})
 	legit := func(s ioa.State) bool { return sys.TokenCount(s) == 1 }
 	cert := mustCertify(t, sys.Composite, legit, env)
 

@@ -195,6 +195,13 @@ type Stats struct {
 	ArenaCapBytes int64
 	// Shards is the shard count.
 	Shards int
+	// SpilledStates is the number of interned states whose encodings
+	// live in on-disk runs rather than RAM (zero for the arena store).
+	SpilledStates int
+	// SpilledBytes is the total size of the on-disk run files.
+	SpilledBytes int64
+	// SpillRuns is the number of sorted runs on disk.
+	SpillRuns int
 }
 
 // Stats summarizes the store.
