@@ -124,7 +124,6 @@ import (
 	"net"
 	"os"
 	"os/exec"
-	"strings"
 	"time"
 
 	"repro/internal/arbiter/dist"
@@ -726,17 +725,9 @@ func workerRun(cfg config, prof faults.Profile, o *obs.Obs) error {
 		Canon:        canon,
 		CorruptShard: cfg.distCorrupt,
 	}
-	// The coordinator may still be binding its listener (hand-started
-	// workers race it); retry refused dials for a few seconds.
-	var err error
-	for try := 0; try < 100; try++ {
-		err = cluster.Work(context.Background(), wcfg)
-		if err == nil || !strings.Contains(err.Error(), "connection refused") {
-			return err
-		}
-		time.Sleep(100 * time.Millisecond)
-	}
-	return err
+	// cluster.Work retries refused dials itself (hand-started workers
+	// race the coordinator's bind), so the exploration runs exactly once.
+	return cluster.Work(context.Background(), wcfg)
 }
 
 // joinAddr renders a bound listener address as a dialable -dist-join

@@ -39,6 +39,21 @@
 // rank's shard; a corrupted shard assignment (the -dist-corrupt test
 // hook, or a real routing bug) aborts the whole cluster rather than
 // silently double-counting.
+//
+// Flow control: workers send their entire per-level batch set before
+// reading anything, so the coordinator must never let one peer's
+// inbound traffic block on another peer's outbound socket — that cycle
+// (reader of rank A blocked writing to rank B, whose own sends are
+// backed up behind A's) deadlocks the cluster as soon as routed volume
+// exceeds kernel TCP buffering. Two measures prevent it: workers chunk
+// batches into bounded kBatch messages (batchChunk encodings each,
+// with a Base offset keeping candidate indices global), and the
+// coordinator gives every peer an unbounded outbound queue drained by
+// a dedicated writer goroutine, so routing a message only ever
+// enqueues. The cost is that in-flight routed batches buffer in
+// coordinator RAM — bounded by one level's cross-rank candidate
+// volume, the same O(level width) bound the workers themselves carry
+// (see the memory note on Work).
 package cluster
 
 import (
@@ -50,6 +65,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/ioa"
@@ -139,6 +155,12 @@ const (
 	kFail                  // worker → coordinator: abort with error
 )
 
+// batchChunk caps the encodings per kBatch message (and wins per
+// kReply), so neither a gob allocation nor a coordinator queue entry
+// ever holds a whole level. A var only so tests can shrink it to force
+// multi-chunk reassembly on small systems.
+var batchChunk = 4096
+
 // msg is the single wire envelope; the meaningful fields depend on
 // Kind.
 type msg struct {
@@ -147,8 +169,9 @@ type msg struct {
 	To   int // routing target rank (kBatch, kReply)
 
 	Procs int      // kWelcome
+	Base  int32    // kBatch: index of Encs[0] within everything From sent To this level
 	Encs  [][]byte // kBatch: candidate encodings, discovery order
-	Win   []int32  // kReply: winning indices into the batch From received from To
+	Win   []int32  // kReply: winning indices into the candidates From received from To
 
 	Fresh     int64  // kLevel: encodings this rank interned as owner
 	Owned     int64  // kLevel: this rank's shard size
@@ -160,19 +183,99 @@ type msg struct {
 	Err      string // kCtl, kFail
 }
 
-// peer is one coordinator-side worker connection.
+// peer is one coordinator-side worker connection. Outbound messages go
+// through an unbounded queue drained by a dedicated writer goroutine
+// (write), so send never blocks on the peer's socket — the property
+// the routing-deadlock argument in the package doc rides on.
 type peer struct {
 	conn net.Conn
 	dec  *gob.Decoder
+	enc  *gob.Encoder
 
-	mu  sync.Mutex
-	enc *gob.Encoder
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []msg
+	busy   bool  // writer mid-batch
+	err    error // first write error, latched
+	closed bool
 }
 
+func newPeer(conn net.Conn) *peer {
+	p := &peer{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// send enqueues m for the writer goroutine. It returns the writer's
+// latched error, if any, so control-loop sends still fail fast.
 func (p *peer) send(m msg) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.enc.Encode(m)
+	if p.err != nil {
+		return p.err
+	}
+	if p.closed {
+		return net.ErrClosed
+	}
+	p.queue = append(p.queue, m)
+	p.cond.Broadcast()
+	return nil
+}
+
+// drain blocks until the writer has flushed every queued message (or
+// failed, or been shut down). Coordinate drains before returning so a
+// final control broadcast reaches the workers instead of dying in the
+// queue when the deferred shutdown closes the sockets.
+func (p *peer) drain() {
+	p.mu.Lock()
+	for (len(p.queue) > 0 || p.busy) && p.err == nil && !p.closed {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// shutdown wakes the writer so it exits and closes the socket, which
+// also unblocks a writer mid-Encode.
+func (p *peer) shutdown() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.conn.Close()
+}
+
+// write drains the queue onto the socket until shutdown or a write
+// error; fail reports the first error.
+func (p *peer) write(fail func(error)) {
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		batch := p.queue
+		p.queue = nil
+		p.busy = true
+		p.mu.Unlock()
+		for _, m := range batch {
+			if err := p.enc.Encode(m); err != nil {
+				p.mu.Lock()
+				p.err = err
+				p.busy = false
+				p.cond.Broadcast()
+				p.mu.Unlock()
+				fail(err)
+				return
+			}
+		}
+		p.mu.Lock()
+		p.busy = false
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
 }
 
 // Coordinate listens on cfg.Addr, waits for cfg.Procs workers, drives
@@ -206,49 +309,51 @@ func Coordinate(ctx context.Context, cfg Config) (Result, error) {
 		ln.Close()
 		for _, p := range peers {
 			if p != nil {
-				p.conn.Close()
+				p.shutdown()
 			}
 		}
 	}()
+
+	events := make(chan msg, 4*cfg.Procs)
+	var failOnce sync.Once
+	fail := func(from int, format string, a ...any) {
+		failOnce.Do(func() {
+			events <- msg{Kind: kFail, From: from, Err: fmt.Sprintf(format, a...)}
+		})
+	}
 
 	for rank := 0; rank < cfg.Procs; rank++ {
 		conn, err := ln.Accept()
 		if err != nil {
 			return res, ctxErr(ctx, fmt.Errorf("cluster: accept: %w", err))
 		}
-		p := &peer{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}
+		p := newPeer(conn)
 		peers[rank] = p
+		go p.write(func(err error) { fail(rank, "write rank %d: %v", rank, err) })
 		if err := p.send(msg{Kind: kWelcome, To: rank, Procs: cfg.Procs}); err != nil {
 			return res, fmt.Errorf("cluster: welcome rank %d: %w", rank, err)
 		}
 	}
 
-	// Readers route kBatch/kReply directly peer-to-peer and funnel
-	// everything else to the control loop.
-	events := make(chan msg, 4*cfg.Procs)
-	var readErr sync.Once
+	// Readers route kBatch/kReply peer-to-peer — enqueueing onto the
+	// destination's writer queue, never blocking on its socket — and
+	// funnel everything else to the control loop.
 	for rank, p := range peers {
 		go func(rank int, p *peer) {
 			for {
 				var m msg
 				if err := p.dec.Decode(&m); err != nil {
-					readErr.Do(func() {
-						events <- msg{Kind: kFail, From: rank, Err: fmt.Sprintf("read rank %d: %v", rank, err)}
-					})
+					fail(rank, "read rank %d: %v", rank, err)
 					return
 				}
 				switch m.Kind {
 				case kBatch, kReply:
 					if m.To < 0 || m.To >= cfg.Procs {
-						readErr.Do(func() {
-							events <- msg{Kind: kFail, From: rank, Err: fmt.Sprintf("rank %d routed to bogus rank %d", rank, m.To)}
-						})
+						fail(rank, "rank %d routed to bogus rank %d", rank, m.To)
 						return
 					}
 					if err := peers[m.To].send(m); err != nil {
-						readErr.Do(func() {
-							events <- msg{Kind: kFail, From: rank, Err: fmt.Sprintf("route to rank %d: %v", m.To, err)}
-						})
+						fail(rank, "route to rank %d: %v", m.To, err)
 						return
 					}
 				default:
@@ -266,8 +371,16 @@ func Coordinate(ctx context.Context, cfg Config) (Result, error) {
 		}
 		return nil
 	}
+	drainAll := func() {
+		for _, p := range peers {
+			if p != nil {
+				p.drain()
+			}
+		}
+	}
 	abort := func(reason error) (Result, error) {
 		_ = broadcast(msg{Kind: kCtl, Continue: false, Err: reason.Error()}) //lint:ignore errflow already aborting; the primary error wins
+		drainAll()
 		return res, reason
 	}
 	// waitAll collects one message of the wanted kind from every rank.
@@ -363,6 +476,7 @@ func Coordinate(ctx context.Context, cfg Config) (Result, error) {
 			break
 		}
 	}
+	drainAll()
 	if o != nil {
 		o.EmitProgress(obs.Progress{
 			Phase:         "dist",
@@ -373,6 +487,30 @@ func Coordinate(ctx context.Context, cfg Config) (Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// dialRetry dials the coordinator, retrying refused connections for a
+// bounded window. A separate probe connection would consume one of the
+// coordinator's ranked Accept slots, so the retried dial must be the
+// real connection.
+func dialRetry(ctx context.Context, addr string) (net.Conn, error) {
+	var err error
+	for try := 0; try < 100; try++ {
+		var conn net.Conn
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if !errors.Is(err, syscall.ECONNREFUSED) {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
 }
 
 // ctxErr prefers the context's error when it fired.
@@ -401,7 +539,20 @@ type ref struct {
 
 // Work dials the coordinator at cfg.Addr and explores this process's
 // shard until the cluster finishes. The error is nil iff the whole
-// cluster completed cleanly.
+// cluster completed cleanly. Refused dials are retried for a bounded
+// window, since hand-started workers race the coordinator's bind; the
+// retry wraps only the dial, never the exploration.
+//
+// Memory: a worker holds every concrete candidate state of the current
+// level in RAM (the routed batches and the winning frontier), even
+// when Config.Spill backs the seen set — so worker RAM scales with the
+// widest BFS level, not with the spill budget. This is inherent to the
+// no-Decode-hook design: concrete states never cross a process
+// boundary and cannot be rebuilt from spilled encodings, so the
+// discoverer must keep them until the owners' verdicts arrive. Spill
+// still removes the (much larger) cumulative seen set from RAM; for
+// spaces whose single widest level exceeds RAM, use the in-process
+// external census instead.
 func Work(ctx context.Context, cfg Config) error {
 	if cfg.Build == nil {
 		return fmt.Errorf("cluster: worker needs a Build hook")
@@ -410,9 +561,9 @@ func Work(ctx context.Context, cfg Config) error {
 	if now == nil {
 		now = testseed.Now
 	}
-	conn, err := net.Dial("tcp", cfg.Addr)
+	conn, err := dialRetry(ctx, cfg.Addr)
 	if err != nil {
-		return fmt.Errorf("cluster: dial %s: %w", cfg.Addr, err)
+		return ctxErr(ctx, err)
 	}
 	defer conn.Close()
 	done := make(chan struct{})
@@ -483,12 +634,16 @@ func Work(ctx context.Context, cfg Config) error {
 			sentEncs[owner] = append(sentEncs[owner], c.enc)
 		}
 		for owner := 0; owner < procs; owner++ {
-			if owner == rank || len(sentEncs[owner]) == 0 {
+			encs := sentEncs[owner]
+			if owner == rank || len(encs) == 0 {
 				continue
 			}
-			sentCount += int64(len(sentEncs[owner]))
-			if err := enc.Encode(msg{Kind: kBatch, From: rank, To: owner, Encs: sentEncs[owner]}); err != nil {
-				return ctxErr(ctx, fmt.Errorf("cluster: rank %d: send batch: %w", rank, err))
+			sentCount += int64(len(encs))
+			for base := 0; base < len(encs); base += batchChunk {
+				end := min(base+batchChunk, len(encs))
+				if err := enc.Encode(msg{Kind: kBatch, From: rank, To: owner, Base: int32(base), Encs: encs[base:end]}); err != nil {
+					return ctxErr(ctx, fmt.Errorf("cluster: rank %d: send batch: %w", rank, err))
+				}
 			}
 		}
 		if err := enc.Encode(msg{Kind: kCandsEnd, From: rank}); err != nil {
@@ -516,7 +671,7 @@ func Work(ctx context.Context, cfg Config) error {
 				return fmt.Errorf("cluster: rank %d: protocol: kind %d during candidate barrier", rank, m.Kind)
 			}
 			for i, e := range m.Encs {
-				refs = append(refs, ref{enc: e, from: m.From, idx: int32(i)})
+				refs = append(refs, ref{enc: e, from: m.From, idx: m.Base + int32(i)})
 			}
 		}
 		barrierNS := now().Sub(barrierStart).Nanoseconds()
@@ -558,8 +713,11 @@ func Work(ctx context.Context, cfg Config) error {
 			if r == rank || len(wins[r]) == 0 {
 				continue
 			}
-			if err := enc.Encode(msg{Kind: kReply, From: rank, To: r, Win: wins[r]}); err != nil {
-				return ctxErr(ctx, err)
+			for base := 0; base < len(wins[r]); base += batchChunk {
+				end := min(base+batchChunk, len(wins[r]))
+				if err := enc.Encode(msg{Kind: kReply, From: rank, To: r, Win: wins[r][base:end]}); err != nil {
+					return ctxErr(ctx, err)
+				}
 			}
 		}
 		if err := enc.Encode(msg{Kind: kRepliesEnd, From: rank}); err != nil {
@@ -584,7 +742,7 @@ func Work(ctx context.Context, cfg Config) error {
 			if m.Kind != kReply {
 				return fmt.Errorf("cluster: rank %d: protocol: kind %d during reply barrier", rank, m.Kind)
 			}
-			myWins[m.From] = m.Win
+			myWins[m.From] = append(myWins[m.From], m.Win...)
 		}
 		barrierNS += now().Sub(barrierStart).Nanoseconds()
 

@@ -9,6 +9,7 @@ package cluster
 // in-process engines.
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -83,22 +84,11 @@ func freePort(t *testing.T) string {
 	return addr
 }
 
-// dialUntilUp retries Work while the coordinator's listener comes up
-// (the reserved port is closed between freePort and Coordinate).
+// dialUntilUp runs Work; its internal refused-dial retry covers the
+// window where the reserved port is closed between freePort and
+// Coordinate's re-listen.
 func dialUntilUp(ctx context.Context, cfg Config) error {
-	var err error
-	for try := 0; try < 200; try++ {
-		err = Work(ctx, cfg)
-		if err == nil || !strings.Contains(err.Error(), "connection refused") {
-			return err
-		}
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(10 * time.Millisecond):
-		}
-	}
-	return err
+	return Work(ctx, cfg)
 }
 
 func buildGrid(m, k int) func() (ioa.Automaton, error) {
@@ -201,6 +191,78 @@ func TestClusterSpillBackedWorkers(t *testing.T) {
 	}
 	if res.Depth != g.Depth() {
 		t.Fatalf("spill-backed cluster depth %d, want %d", res.Depth, g.Depth())
+	}
+}
+
+// TestCoordinatorSendNeverBlocks pins the routing-deadlock fix: a
+// coordinator-side send to a peer that is not reading must enqueue and
+// return, never block on the peer's socket. net.Pipe is zero-buffered,
+// so the pre-fix synchronous Encode would block on the first message.
+func TestCoordinatorSendNeverBlocks(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	p := newPeer(server)
+	defer p.shutdown()
+	go p.write(func(error) {})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		encs := make([][]byte, 256)
+		for i := range encs {
+			encs[i] = bytes.Repeat([]byte{byte(i)}, 1024)
+		}
+		for i := 0; i < 64; i++ {
+			if err := p.send(msg{Kind: kBatch, From: 0, To: 1, Encs: encs}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("send blocked on an unread peer socket — routing deadlock regression")
+	}
+}
+
+// TestClusterChunkedBatches forces every routed batch and reply to
+// span several kBatch/kReply messages and asserts counts, depths, and
+// shard sums still match the single-message path — pinning the Base
+// offset reassembly.
+func TestClusterChunkedBatches(t *testing.T) {
+	old := batchChunk
+	batchChunk = 3
+	defer func() { batchChunk = old }()
+
+	build := buildGrid(4, 4)
+	a, _ := build()
+	g := a.(*grid.Grid)
+	var prev *Result
+	for _, procs := range []int{2, 4} {
+		res, errs := run(t, procs, nil, Config{Build: build})
+		for rank, err := range errs {
+			if err != nil {
+				t.Fatalf("procs=%d rank %d: %v", procs, rank, err)
+			}
+		}
+		if res.States != g.States() {
+			t.Fatalf("procs=%d: %d states, want %d", procs, res.States, g.States())
+		}
+		if res.Depth != g.Depth() {
+			t.Fatalf("procs=%d: depth %d, want %d", procs, res.Depth, g.Depth())
+		}
+		var sum int64
+		for _, n := range res.PerRank {
+			sum += n
+		}
+		if sum != res.States {
+			t.Fatalf("procs=%d: shard sizes sum to %d, want %d", procs, sum, res.States)
+		}
+		if prev != nil && (res.States != prev.States || res.Depth != prev.Depth) {
+			t.Fatalf("procs=%d diverged from previous proc count: %+v vs %+v", procs, res, *prev)
+		}
+		prev = &res
 	}
 }
 

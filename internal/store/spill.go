@@ -60,7 +60,7 @@ const (
 
 	defaultBlockEvery   = 16
 	defaultBloomPerKey  = 10
-	hotEntryOverhead    = 16 // offs + hash + bucket slot, approximate
+	hotEntryOverhead    = 24 // offs + hash + bucket slot, approximate
 	spillReadBufferSize = 1 << 16
 )
 
@@ -129,11 +129,13 @@ func (b *bloom) maybe(h uint64) bool {
 }
 
 // blockMeta locates one restart block: its file offset and its first
-// key (a slice into the run's key arena).
+// key (a slice into the run's key arena). The key bounds are int for
+// the same overflow reason as spillHot.offs: a large MemBudget can push
+// the first-key arena of a single run past 4 GiB of concatenated keys.
 type blockMeta struct {
 	off     int64
-	firstLo uint32
-	firstHi uint32
+	firstLo int
+	firstHi int
 }
 
 // runMeta is one immutable sorted run on disk plus its in-memory
@@ -168,16 +170,20 @@ func (r *runMeta) blockBounds(b int) (off, n int64) {
 
 // spillHot is the in-RAM batch: one arena of concatenated encodings,
 // entry boundaries, per-entry hashes (reused for bloom construction at
-// flush), and a full-hash bucket table for dedup.
+// flush), and a full-hash bucket table for dedup. Offsets are int, not
+// uint32: SpillOptions.MemBudget is an int64 the caller may legally set
+// past 4 GiB, so the arena can outgrow a 32-bit offset before any flush
+// fires — narrower offsets would wrap silently and corrupt key
+// boundaries.
 type spillHot struct {
-	table  map[uint64][]uint32
+	table  map[uint64][]int
 	arena  []byte
-	offs   []uint32 // len = count+1; entry i is arena[offs[i]:offs[i+1]]
+	offs   []int // len = count+1; entry i is arena[offs[i]:offs[i+1]]
 	hashes []uint64
 }
 
 func (h *spillHot) init() {
-	h.table = make(map[uint64][]uint32)
+	h.table = make(map[uint64][]int)
 	h.offs = append(h.offs[:0], 0)
 }
 
@@ -187,17 +193,17 @@ func (h *spillHot) key(i int) []byte { return h.arena[h.offs[i]:h.offs[i+1]] }
 
 func (h *spillHot) lookup(enc []byte, hash uint64) (int, bool) {
 	for _, i := range h.table[hash] {
-		if bytes.Equal(h.key(int(i)), enc) {
-			return int(i), true
+		if bytes.Equal(h.key(i), enc) {
+			return i, true
 		}
 	}
 	return -1, false
 }
 
 func (h *spillHot) add(enc []byte, hash uint64) {
-	i := uint32(h.count())
+	i := h.count()
 	h.arena = append(h.arena, enc...)
-	h.offs = append(h.offs, uint32(len(h.arena)))
+	h.offs = append(h.offs, len(h.arena))
 	h.hashes = append(h.hashes, hash)
 	h.table[hash] = append(h.table[hash], i)
 }
@@ -485,8 +491,8 @@ func (rw *runWriter) add(key []byte, hash uint64, id uint64) {
 	if rw.count%rw.sp.blockEvery == 0 {
 		rw.blocks = append(rw.blocks, blockMeta{
 			off:     rw.off,
-			firstLo: uint32(len(rw.keys)),
-			firstHi: uint32(len(rw.keys) + len(key)),
+			firstLo: len(rw.keys),
+			firstHi: len(rw.keys) + len(key),
 		})
 		rw.keys = append(rw.keys, key...)
 	} else {
